@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table/figure of the paper's
+evaluation.  Results are printed and also written to ``benchmarks/results/``
+so a full ``pytest benchmarks/ --benchmark-only`` run leaves behind the
+complete set of reproduced rows/series.
+
+Two environment variables control fidelity:
+
+* ``REPRO_BENCH_SCALE``     -- client/replica scale factor (default 0.5; the
+  paper's full scale is 1.0).
+* ``REPRO_BENCH_DURATION``  -- simulated seconds per run (default 120).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", "120"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a named result artefact and echo it to stdout."""
+
+    def _record(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n===== {name} =====")
+        print(text)
+        return path
+
+    return _record

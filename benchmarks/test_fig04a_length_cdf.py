@@ -1,0 +1,48 @@
+"""Fig. 4a -- CDF of input and output lengths of the chat workload.
+
+Reproduces the qualitative shape of the WildChat length distributions:
+heavy-tailed inputs and outputs, with most requests well under a thousand
+tokens but a tail stretching to several thousand.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import percentile
+from repro.workloads import ConversationConfig, ConversationWorkload, WILDCHAT_LIKE
+
+
+def _collect_lengths():
+    config = ConversationConfig(
+        regions=("us", "eu", "asia"),
+        users_per_region=30,
+        conversations_per_user=2,
+        turns_range=(2, 6),
+        lengths=WILDCHAT_LIKE,
+        seed=4,
+    )
+    inputs, outputs = [], []
+    for program in ConversationWorkload(config).generate_programs():
+        for request in program.all_requests():
+            inputs.append(request.prompt_len)
+            outputs.append(request.output_len)
+    return inputs, outputs
+
+
+def test_fig04a_length_cdf(benchmark, record_result):
+    inputs, outputs = benchmark.pedantic(_collect_lengths, rounds=1, iterations=1)
+
+    lines = ["Fig. 4a: request length distribution (tokens)", ""]
+    lines.append(f"  {'percentile':<12}{'input':>10}{'output':>10}")
+    for q in (25, 50, 75, 90, 99):
+        lines.append(
+            f"  p{q:<11}{percentile(inputs, q):>10.0f}{percentile(outputs, q):>10.0f}"
+        )
+    lines.append(f"  {'max':<12}{max(inputs):>10}{max(outputs):>10}")
+    record_result("fig04a_length_cdf", "\n".join(lines))
+
+    # Long-tailed: the 99th percentile dwarfs the median for both series.
+    assert percentile(outputs, 99) > 3 * percentile(outputs, 50)
+    assert percentile(inputs, 99) > 2 * percentile(inputs, 50)
+    # Multi-turn histories make prompts longer than single outputs on average.
+    assert percentile(inputs, 50) > 200
+    assert max(outputs) > 1000

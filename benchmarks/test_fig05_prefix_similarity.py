@@ -1,0 +1,100 @@
+"""Fig. 5 -- prefix similarity within/across users and regions.
+
+Reproduces the similarity averages (Fig. 5a) and the user-pair heatmap
+(Fig. 5b) over the synthetic chat traces.  The paper's numbers: within-user
+similarity 8.3-20.5%, across-user 2.5-10.9%, across-region ~2.5%, with the
+within/across-user ratio between 2.47x (Arena) and 7.60x (WildChat).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_similarity, user_similarity_heatmap
+from repro.workloads import (
+    ARENA_LIKE,
+    WILDCHAT_LIKE,
+    ConversationConfig,
+    ConversationWorkload,
+)
+
+
+def _requests_for(name):
+    if name == "chatbot-arena":
+        config = ConversationConfig(
+            regions=("us", "eu", "asia"),
+            users_per_region=25,
+            conversations_per_user=2,
+            turns_range=(2, 5),
+            lengths=ARENA_LIKE,
+            shared_templates=6,
+            template_adoption=0.5,
+            seed=21,
+        )
+    else:
+        config = ConversationConfig(
+            regions=("us", "eu", "asia"),
+            users_per_region=25,
+            conversations_per_user=2,
+            turns_range=(2, 6),
+            lengths=WILDCHAT_LIKE,
+            shared_templates=4,
+            template_adoption=0.3,
+            seed=22,
+        )
+    return [
+        request
+        for program in ConversationWorkload(config).generate_programs()
+        for request in program.all_requests()
+    ]
+
+
+def test_fig05a_similarity_averages(benchmark, record_result):
+    def run():
+        return {
+            name: analyze_similarity(_requests_for(name), seed=5)
+            for name in ("chatbot-arena", "wildchat")
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Fig. 5a: average prefix similarity (%)", ""]
+    lines.append(f"  {'workload':<16}{'within-user':>12}{'across-user':>12}{'within-region':>14}{'across-region':>14}{'ratio':>8}")
+    for name, report in reports.items():
+        lines.append(
+            f"  {name:<16}{report.within_user * 100:>11.1f}%{report.across_user * 100:>11.1f}%"
+            f"{report.within_region * 100:>13.1f}%{report.across_region * 100:>13.1f}%"
+            f"{report.user_affinity_ratio:>7.2f}x"
+        )
+    record_result("fig05a_prefix_similarity", "\n".join(lines))
+
+    for report in reports.values():
+        # Ordering of the paper's bars: within-user >> across-user >= across-region.
+        assert report.within_user > report.across_user
+        assert report.within_user > report.across_region
+        assert report.user_affinity_ratio > 1.5
+        assert report.within_user > 0.05
+
+
+def test_fig05b_user_similarity_heatmap(benchmark, record_result):
+    requests = _requests_for("wildchat")
+    users, matrix = benchmark.pedantic(
+        lambda: user_similarity_heatmap(requests, num_users=20, seed=6),
+        rounds=1,
+        iterations=1,
+    )
+    diagonal = [matrix[i][i] for i in range(len(users))]
+    off_diagonal = [
+        matrix[i][j] for i in range(len(users)) for j in range(len(users)) if i != j
+    ]
+    diag_mean = sum(diagonal) / len(diagonal)
+    off_mean = sum(off_diagonal) / len(off_diagonal)
+
+    lines = [
+        "Fig. 5b: user-pair similarity heatmap summary",
+        "",
+        f"  users sampled         : {len(users)}",
+        f"  diagonal (same user)  : {diag_mean * 100:5.1f}% average similarity",
+        f"  off-diagonal          : {off_mean * 100:5.1f}% average similarity",
+    ]
+    record_result("fig05b_heatmap", "\n".join(lines))
+
+    assert diag_mean > 2 * off_mean

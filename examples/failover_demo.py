@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Load-balancer failure recovery (§4.2 of the paper).
+
+The centralized controller health-probes every regional load balancer.  When
+one dies, its replicas are temporarily re-assigned to the geographically
+closest healthy balancer, DNS stops resolving clients to the dead balancer,
+and once it recovers the replicas are transferred back.
+
+This example kills the EU balancer mid-run and shows that EU clients keep
+being served (through the US balancer) during the outage.
+
+Run with::
+
+    python examples/failover_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
+from repro.core import ServiceController, SkyWalkerBalancer
+from repro.network import Network, default_topology
+from repro.sim import Environment
+from repro.workloads import ConversationConfig, ConversationWorkload
+
+
+def main() -> None:
+    env = Environment()
+    topology = default_topology()
+    network = Network(env, topology, jitter_fraction=0.0, seed=0)
+    deployment = Deployment(
+        env,
+        [ReplicaSpec(region=region, count=2) for region in ("us", "eu", "asia")],
+        topology=topology,
+        network=network,
+    )
+    tracker = RequestTracker(env)
+    for replica in deployment.replicas:
+        replica.add_completion_listener(tracker.complete)
+
+    frontend = Frontend(env, network)
+    balancers = {}
+    for region in ("us", "eu", "asia"):
+        balancer = SkyWalkerBalancer(env, f"skywalker@{region}", region, network)
+        for replica in deployment.replicas_in(region):
+            balancer.add_replica(replica)
+        balancers[region] = balancer
+    for balancer in balancers.values():
+        for peer in balancers.values():
+            if peer is not balancer:
+                balancer.add_peer(peer)
+        balancer.start()
+        frontend.register_balancer(balancer)
+
+    controller = ServiceController(env, network, frontend,
+                                   health_probe_interval_s=0.5, recovery_time_s=20.0)
+    for balancer in balancers.values():
+        controller.register_balancer(balancer)
+    controller.start()
+
+    # Clients in every region run conversations for the whole experiment.
+    workload = ConversationWorkload(ConversationConfig(
+        regions=("us", "eu", "asia"), users_per_region=6,
+        conversations_per_user=4, turns_range=(2, 4), seed=1,
+    ))
+    for index, (region, programs) in enumerate(workload.programs_by_region().items()):
+        ClosedLoopClient(env, f"client-{region}-{index}", region, frontend, tracker, programs)
+
+    def chaos(env):
+        yield env.timeout(30.0)
+        print(f"[t={env.now:6.1f}s] killing the EU load balancer")
+        balancers["eu"].fail()
+        yield env.timeout(40.0)
+        print(f"[t={env.now:6.1f}s] outage window over "
+              f"(controller recovery time is 20s)")
+
+    env.process(chaos(env))
+    env.run(until=120.0)
+
+    print()
+    print(f"failovers handled        : {len(controller.failovers)}")
+    for record in controller.failovers:
+        print(f"  {record.failed_balancer} -> {record.takeover_balancer} "
+              f"at t={record.failed_at:.1f}s, recovered at t={record.recovered_at:.1f}s")
+    eu_requests = [r for r in tracker.completed if r.region == "eu"]
+    during_outage = [r for r in eu_requests if 30.0 <= r.sent_time <= 70.0]
+    served_by_us_lb = [r for r in during_outage if r.ingress_region == "us"]
+    print(f"EU requests completed     : {len(eu_requests)}")
+    print(f"  ... sent during outage  : {len(during_outage)}")
+    print(f"  ... entering via the US : {len(served_by_us_lb)}")
+    print(f"EU balancer healthy again : {balancers['eu'].healthy}")
+    print(f"EU replicas back home     : "
+          f"{[r.name for r in balancers['eu'].local_replicas()]}")
+
+
+if __name__ == "__main__":
+    main()

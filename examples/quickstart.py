@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: serve a multi-region chat workload with SkyWalker.
+
+Builds a three-region deployment (two L4 replicas per region), routes a
+ChatBot-Arena-like multi-turn conversation workload through SkyWalker's
+geo-distributed load balancers, and prints the headline serving metrics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ClusterConfig,
+    ExperimentConfig,
+    SystemConfig,
+    build_arena_workload,
+    run_experiment,
+)
+
+
+def main() -> None:
+    # 1. Describe the workload: clients in the US, Europe and Asia running
+    #    multi-turn conversations (scale 0.2 => 16 concurrent clients/region).
+    workload = build_arena_workload(scale=0.2, seed=0)
+
+    # 2. Describe the system: SkyWalker with prefix-tree routing and
+    #    pending-request selective pushing, on 2 replicas per region.
+    config = ExperimentConfig(
+        system=SystemConfig(kind="skywalker", hash_key=workload.hash_key),
+        cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
+        duration_s=120.0,
+        seed=0,
+    )
+
+    # 3. Run the simulation and inspect the metrics.
+    result = run_experiment(config, workload)
+    metrics = result.metrics
+
+    print("SkyWalker quickstart")
+    print("====================")
+    print(f"replicas                : {result.deployment.num_replicas} across {sorted(result.deployment.regions)}")
+    print(f"requests completed      : {metrics.num_completed} / {metrics.num_issued} issued")
+    print(f"service throughput      : {metrics.throughput_tokens_per_s:,.0f} tokens/s")
+    print(f"TTFT    p50 / p90       : {metrics.ttft.p50:.3f}s / {metrics.ttft.p90:.3f}s")
+    print(f"E2E     p50 / p90       : {metrics.e2e_latency.p50:.2f}s / {metrics.e2e_latency.p90:.2f}s")
+    print(f"prefix cache hit rate   : {metrics.cache_hit_rate:.1%}")
+    print(f"served outside region   : {metrics.cross_region_fraction:.1%}")
+    print(f"hourly fleet cost       : ${result.deployment.hourly_cost():.2f} (3-year reserved)")
+    print()
+    print("Per-balancer routing summary:")
+    for balancer in result.balancers:
+        print(
+            f"  {balancer.name:<22} received={balancer.received_requests:<5} "
+            f"local={balancer.local_dispatches:<5} forwarded={balancer.remote_forwards}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for legacy editable installs (no `wheel` package offline)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""SkyWalker reproduction: a locality-aware cross-region load balancer for
+LLM inference, together with the full simulated serving stack it runs on.
+
+Quick start::
+
+    from repro.experiments import (
+        ClusterConfig, ExperimentConfig, SystemConfig, run_experiment,
+        build_arena_workload,
+    )
+
+    workload = build_arena_workload(scale=0.1)
+    config = ExperimentConfig(
+        system=SystemConfig(kind="skywalker"),
+        cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
+        duration_s=60.0,
+    )
+    result = run_experiment(config, workload)
+    print(result.metrics.format_row())
+
+Sub-packages
+------------
+``repro.sim``          discrete-event simulation kernel
+``repro.replica``      simulated SGLang/vLLM-style inference replica
+``repro.network``      cross-region latency matrix, transport and DNS
+``repro.cluster``      deployments, pricing, clients
+``repro.workloads``    synthetic conversation / Tree-of-Thoughts / diurnal traces
+``repro.core``         SkyWalker itself (two-layer router, prefix trie, CH,
+                       selective pushing, controller)
+``repro.balancers``    the baseline load balancers of §5.1
+``repro.metrics``      latency summaries and run aggregation
+``repro.analysis``     cost model, traffic aggregation, prefix similarity
+``repro.experiments``  scenario builders and runners for every figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "replica",
+    "network",
+    "cluster",
+    "workloads",
+    "core",
+    "balancers",
+    "metrics",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,21 @@
+"""Offline analyses: cost modelling, traffic aggregation, prefix similarity."""
+
+from .cost import CostModel, ProvisioningCost
+from .prefix_similarity import (
+    SimilarityReport,
+    analyze_similarity,
+    prefix_similarity,
+    user_similarity_heatmap,
+)
+from .traffic import AggregationAnalysis, analyze_aggregation
+
+__all__ = [
+    "CostModel",
+    "ProvisioningCost",
+    "AggregationAnalysis",
+    "analyze_aggregation",
+    "prefix_similarity",
+    "SimilarityReport",
+    "analyze_similarity",
+    "user_similarity_heatmap",
+]

@@ -1,0 +1,171 @@
+"""Prefix similarity analysis (§3.2, Fig. 5a / 5b).
+
+The paper defines the prefix similarity of two requests *a*, *b* as::
+
+    len(common_prefix(a, b)) / min(len(a), len(b))
+
+and studies how it differs within a user, across users, within a region and
+across regions.  The same statistics are computed here over synthetic
+workload traces, which is both a validation of the workload generators (they
+must reproduce the paper's sharing structure) and the input that motivates
+SkyWalker-CH vs full SkyWalker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..workloads.request import Request
+
+__all__ = [
+    "prefix_similarity",
+    "SimilarityReport",
+    "analyze_similarity",
+    "user_similarity_heatmap",
+]
+
+
+def prefix_similarity(a: Sequence[int], b: Sequence[int]) -> float:
+    """Normalised common-prefix length of two token sequences (footnote 1)."""
+    if not a or not b:
+        return 0.0
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i / limit
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _sample_pairs(
+    items: Sequence, rng: random.Random, max_pairs: int
+) -> List[Tuple]:
+    """All pairs if few, otherwise a uniform sample of ``max_pairs`` pairs."""
+    n = len(items)
+    total = n * (n - 1) // 2
+    if total <= max_pairs:
+        return list(combinations(items, 2))
+    pairs = set()
+    while len(pairs) < max_pairs:
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        if i == j:
+            continue
+        pairs.add((min(i, j), max(i, j)))
+    return [(items[i], items[j]) for i, j in pairs]
+
+
+@dataclass(frozen=True)
+class SimilarityReport:
+    """Average prefix similarity along the four groupings of Fig. 5a."""
+
+    within_user: float
+    across_user: float
+    within_region: float
+    across_region: float
+
+    @property
+    def user_affinity_ratio(self) -> float:
+        """How much stronger within-user sharing is than cross-user sharing
+        (the paper reports 2.47x for Arena and 7.60x for WildChat)."""
+        if self.across_user == 0:
+            return float("inf")
+        return self.within_user / self.across_user
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "within_user": self.within_user,
+            "across_user": self.across_user,
+            "within_region": self.within_region,
+            "across_region": self.across_region,
+            "user_affinity_ratio": self.user_affinity_ratio,
+        }
+
+
+def analyze_similarity(
+    requests: Sequence[Request],
+    *,
+    max_pairs_per_group: int = 4000,
+    seed: int = 0,
+) -> SimilarityReport:
+    """Compute Fig. 5a's four similarity averages over a request trace."""
+    rng = random.Random(seed)
+
+    by_user: Dict[str, List[Request]] = {}
+    by_region: Dict[str, List[Request]] = {}
+    for request in requests:
+        by_user.setdefault(request.user_id, []).append(request)
+        by_region.setdefault(request.region, []).append(request)
+
+    within_user: List[float] = []
+    for user_requests in by_user.values():
+        for a, b in _sample_pairs(user_requests, rng, max_pairs_per_group // max(1, len(by_user))):
+            within_user.append(prefix_similarity(a.prompt_tokens, b.prompt_tokens))
+
+    across_user: List[float] = []
+    all_requests = list(requests)
+    for a, b in _sample_pairs(all_requests, rng, max_pairs_per_group):
+        if a.user_id != b.user_id:
+            across_user.append(prefix_similarity(a.prompt_tokens, b.prompt_tokens))
+
+    within_region: List[float] = []
+    for region_requests in by_region.values():
+        for a, b in _sample_pairs(
+            region_requests, rng, max_pairs_per_group // max(1, len(by_region))
+        ):
+            within_region.append(prefix_similarity(a.prompt_tokens, b.prompt_tokens))
+
+    across_region: List[float] = []
+    for a, b in _sample_pairs(all_requests, rng, max_pairs_per_group):
+        if a.region != b.region:
+            across_region.append(prefix_similarity(a.prompt_tokens, b.prompt_tokens))
+
+    return SimilarityReport(
+        within_user=_mean(within_user),
+        across_user=_mean(across_user),
+        within_region=_mean(within_region),
+        across_region=_mean(across_region),
+    )
+
+
+def user_similarity_heatmap(
+    requests: Sequence[Request],
+    *,
+    num_users: int = 100,
+    max_pairs_per_cell: int = 16,
+    seed: int = 0,
+) -> Tuple[List[str], List[List[float]]]:
+    """Pairwise user-to-user average similarity matrix (Fig. 5b).
+
+    Returns the sampled user ids and a square matrix where entry [i][j] is
+    the average similarity between user i's and user j's requests.
+    """
+    rng = random.Random(seed)
+    by_user: Dict[str, List[Request]] = {}
+    for request in requests:
+        by_user.setdefault(request.user_id, []).append(request)
+    users = sorted(by_user)
+    if len(users) > num_users:
+        users = rng.sample(users, num_users)
+        users.sort()
+
+    matrix: List[List[float]] = []
+    for user_a in users:
+        row: List[float] = []
+        for user_b in users:
+            sims: List[float] = []
+            for _ in range(max_pairs_per_cell):
+                a = rng.choice(by_user[user_a])
+                b = rng.choice(by_user[user_b])
+                if a is b:
+                    continue
+                sims.append(prefix_similarity(a.prompt_tokens, b.prompt_tokens))
+            row.append(_mean(sims))
+        matrix.append(row)
+    return users, matrix

@@ -1,0 +1,17 @@
+"""Baseline load balancers the paper compares SkyWalker against (§5.1)."""
+
+from .base import CentralizedBalancer
+from .consistent_hash import ConsistentHashBalancer
+from .gateway import GatewayBalancer
+from .least_load import LeastLoadBalancer
+from .round_robin import RoundRobinBalancer
+from .sglang_router import SGLangRouterBalancer
+
+__all__ = [
+    "CentralizedBalancer",
+    "RoundRobinBalancer",
+    "LeastLoadBalancer",
+    "ConsistentHashBalancer",
+    "SGLangRouterBalancer",
+    "GatewayBalancer",
+]

@@ -1,0 +1,155 @@
+"""GKE-Gateway-style multi-cluster gateway baseline (§5.1).
+
+GKE Gateway connects several regional clusters behind a unified endpoint:
+clients hit the gateway in their own region, and the gateway sends each
+request to one of the clusters -- preferring the local one and spilling over
+to remote clusters based on coarse capacity/utilisation signals.  It is a
+competent general-purpose L7 balancer, but (a) it has no notion of KV-cache
+locality and (b) it pushes blindly, with no admission control tied to the
+LLM engine's continuous batch.  Those are precisely the two properties the
+paper credits for SkyWalker's advantage over it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..network import Network
+from ..replica import ReplicaServer
+from ..sim import Environment, Interrupt, Store
+from ..workloads.request import Request, RequestStatus
+
+__all__ = ["GatewayBalancer"]
+
+
+class GatewayBalancer:
+    """One per-region gateway of a multi-cluster (multi-region) deployment.
+
+    Parameters
+    ----------
+    spill_threshold:
+        Average outstanding requests per local replica above which the
+        gateway starts sending traffic to the least-loaded remote cluster.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        network: Network,
+        *,
+        spill_threshold: float = 16.0,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.region = region
+        self.network = network
+        self.spill_threshold = spill_threshold
+        self.inbox: Store = Store(env)
+        self.healthy = True
+        #: cluster (region name) -> replicas in that cluster
+        self._clusters: Dict[str, List[ReplicaServer]] = {}
+        self.outstanding: Dict[str, int] = {}
+        self._cursors: Dict[str, int] = {}
+        self._process = None
+
+        self.received_requests = 0
+        self.dispatched_requests = 0
+        self.spilled_requests = 0
+
+    # ------------------------------------------------------------------
+    def add_replica(self, replica: ReplicaServer) -> None:
+        self._clusters.setdefault(replica.region, []).append(replica)
+        self.outstanding[replica.name] = 0
+        self._cursors.setdefault(replica.region, 0)
+        replica.add_completion_listener(self._on_replica_complete)
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.env.process(self._serve())
+
+    @property
+    def queue_size(self) -> int:
+        return len(self.inbox.items)
+
+    def _on_replica_complete(self, request: Request) -> None:
+        name = request.replica_name
+        if name in self.outstanding and self.outstanding[name] > 0:
+            self.outstanding[name] -= 1
+
+    # ------------------------------------------------------------------
+    def _cluster_load(self, region: str) -> float:
+        replicas = [r for r in self._clusters.get(region, []) if r.healthy]
+        if not replicas:
+            return float("inf")
+        return sum(self.outstanding.get(r.name, 0) for r in replicas) / len(replicas)
+
+    def _pick_cluster(self) -> Optional[str]:
+        """Prefer the local cluster; spill to the lightest remote one when
+        the local cluster looks saturated."""
+        local_load = self._cluster_load(self.region)
+        if local_load <= self.spill_threshold:
+            if self._clusters.get(self.region):
+                return self.region
+        candidates = {
+            region: self._cluster_load(region)
+            for region in self._clusters
+            if any(r.healthy for r in self._clusters[region])
+        }
+        if not candidates:
+            return None
+        return min(candidates, key=lambda region: (candidates[region], region))
+
+    def _pick_replica(self, region: str) -> Optional[ReplicaServer]:
+        replicas = [r for r in self._clusters.get(region, []) if r.healthy]
+        if not replicas:
+            return None
+        cursor = self._cursors.get(region, 0)
+        replica = replicas[cursor % len(replicas)]
+        self._cursors[region] = cursor + 1
+        return replica
+
+    # ------------------------------------------------------------------
+    def _serve(self):
+        env = self.env
+        try:
+            while True:
+                request = yield self.inbox.get()
+                self.received_requests += 1
+                if request.lb_arrival_time is None:
+                    request.lb_arrival_time = env.now
+                request.status = RequestStatus.QUEUED_AT_LB
+                if request.ingress_region is None:
+                    request.ingress_region = self.region
+                cluster = self._pick_cluster()
+                if cluster is None:
+                    yield env.timeout(0.1)
+                    yield self.inbox.put(request)
+                    continue
+                replica = self._pick_replica(cluster)
+                if replica is None:
+                    yield env.timeout(0.1)
+                    yield self.inbox.put(request)
+                    continue
+                if cluster != self.region:
+                    self.spilled_requests += 1
+                self._dispatch(request, replica)
+        except Interrupt:
+            return
+
+    def _dispatch(self, request: Request, replica: ReplicaServer) -> None:
+        request.lb_dispatch_time = self.env.now
+        request.serving_region = replica.region
+        request.replica_name = replica.name
+        request.status = RequestStatus.PENDING_AT_REPLICA
+        request.response_network_delay = self.network.topology.one_way(
+            replica.region, request.region
+        )
+        self.outstanding[replica.name] = self.outstanding.get(replica.name, 0) + 1
+        self.network.deliver(request, self.region, replica.region, replica.inbox)
+        self.dispatched_requests += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        clusters = {region: len(reps) for region, reps in self._clusters.items()}
+        return f"<GatewayBalancer {self.name} clusters={clusters}>"

@@ -1,0 +1,25 @@
+"""Multi-region cluster: deployments, pricing, clients and the frontend."""
+
+from .client import ClosedLoopClient, Frontend, OpenLoopClient, RequestTracker
+from .deployment import Deployment, ReplicaSpec
+from .pricing import (
+    G6_XLARGE,
+    ON_PREMISE_DISCOUNT,
+    P5_48XLARGE,
+    PRICING_CATALOG,
+    InstancePricing,
+)
+
+__all__ = [
+    "Deployment",
+    "ReplicaSpec",
+    "InstancePricing",
+    "PRICING_CATALOG",
+    "P5_48XLARGE",
+    "G6_XLARGE",
+    "ON_PREMISE_DISCOUNT",
+    "RequestTracker",
+    "Frontend",
+    "ClosedLoopClient",
+    "OpenLoopClient",
+]

@@ -1,0 +1,213 @@
+"""Clients, the request tracker, and the DNS-backed frontend.
+
+The evaluation drives the system with *closed-loop* clients: each client
+executes one program at a time (§5.1), sending the next stage only after the
+previous stage's responses arrived.  Clients talk to whatever load balancer
+their region's DNS resolution points at; for centralized baselines that is a
+single balancer in the US, for SkyWalker and the gateway baseline it is the
+balancer in their own region.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence
+
+from ..network import GeoDNS, Network
+from ..sim import Environment, Event
+from ..workloads.program import Program
+from ..workloads.request import Request, RequestStatus
+
+__all__ = ["RequestTracker", "Frontend", "ClosedLoopClient", "OpenLoopClient"]
+
+
+class BalancerEndpoint(Protocol):
+    """Anything that can receive requests over the network."""
+
+    name: str
+    region: str
+
+    @property
+    def inbox(self):  # pragma: no cover - protocol definition only
+        ...
+
+
+class RequestTracker:
+    """Bridges replica completion callbacks back to waiting clients.
+
+    Every request gets a simulation event; replica completion listeners call
+    :meth:`complete` which triggers the event so the issuing client can move
+    on to its next stage.  The tracker also keeps the global list of finished
+    requests that the metrics layer consumes.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._events: Dict[int, Event] = {}
+        self.completed: List[Request] = []
+        self.failed: List[Request] = []
+
+    def register(self, request: Request) -> Event:
+        event = self.env.event()
+        self._events[request.request_id] = event
+        return event
+
+    def complete(self, request: Request) -> None:
+        self.completed.append(request)
+        event = self._events.pop(request.request_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(request)
+
+    def fail(self, request: Request) -> None:
+        self.failed.append(request)
+        event = self._events.pop(request.request_id, None)
+        if event is not None and not event.triggered:
+            event.succeed(request)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._events)
+
+
+class Frontend:
+    """The client-facing entry point: DNS resolution plus request dispatch."""
+
+    def __init__(self, env: Environment, network: Network, dns: Optional[GeoDNS] = None) -> None:
+        self.env = env
+        self.network = network
+        self.dns = dns or GeoDNS(network.topology)
+        self._balancers: Dict[str, BalancerEndpoint] = {}
+
+    def register_balancer(self, balancer: BalancerEndpoint) -> None:
+        """Expose a load balancer under the shared domain name."""
+        self._balancers[balancer.name] = balancer
+        self.dns.register(balancer.name, balancer.region)
+
+    def set_health(self, balancer_name: str, healthy: bool) -> None:
+        self.dns.set_health(balancer_name, healthy)
+
+    def balancer(self, name: str) -> BalancerEndpoint:
+        return self._balancers[name]
+
+    def balancers(self) -> List[BalancerEndpoint]:
+        return list(self._balancers.values())
+
+    def dispatch(self, request: Request) -> None:
+        """Resolve the nearest healthy balancer and send the request to it."""
+        endpoint = self.dns.resolve(request.region)
+        if endpoint is None:
+            raise RuntimeError("no healthy load balancer available")
+        balancer = self._balancers[endpoint]
+        request.status = RequestStatus.QUEUED_AT_LB
+        request.ingress_region = balancer.region
+        self.network.deliver(request, request.region, balancer.region, balancer.inbox)
+
+
+class ClosedLoopClient:
+    """A client that executes programs one stage at a time.
+
+    Parameters
+    ----------
+    programs:
+        Programs to run back to back.  Requests within a stage are issued
+        concurrently; the next stage starts only after every response of the
+        current stage has been received by the client.
+    think_time_s:
+        Optional pause between consecutive stages (user "thinking").
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        frontend: Frontend,
+        tracker: RequestTracker,
+        programs: Sequence[Program],
+        *,
+        think_time_s: float = 0.0,
+        start_delay_s: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.region = region
+        self.frontend = frontend
+        self.tracker = tracker
+        self.programs = list(programs)
+        self.think_time_s = think_time_s
+        self.start_delay_s = start_delay_s
+        self.completed_programs = 0
+        self.issued_requests = 0
+        self.process = env.process(self._run())
+
+    def _run(self):
+        env = self.env
+        if self.start_delay_s > 0:
+            yield env.timeout(self.start_delay_s)
+        for program in self.programs:
+            for stage in program.stages:
+                events = []
+                for request in stage:
+                    request.region = self.region
+                    request.sent_time = env.now
+                    request.arrival_time = env.now
+                    events.append(self.tracker.register(request))
+                    self.frontend.dispatch(request)
+                    self.issued_requests += 1
+                if events:
+                    yield env.all_of(events)
+                    # Responses travel back over the network before the client
+                    # can act on them.
+                    response_delay = max(
+                        request.response_network_delay for request in stage
+                    )
+                    if response_delay > 0:
+                        yield env.timeout(response_delay)
+                if self.think_time_s > 0:
+                    yield env.timeout(self.think_time_s)
+            self.completed_programs += 1
+
+
+class OpenLoopClient:
+    """A client that issues requests at a fixed average rate (Poisson arrivals).
+
+    Used by the diurnal experiments where load is defined by a trace rather
+    than by client concurrency.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        frontend: Frontend,
+        tracker: RequestTracker,
+        requests: Sequence[Request],
+        *,
+        rate_per_s: float,
+        seed: int = 0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.env = env
+        self.name = name
+        self.region = region
+        self.frontend = frontend
+        self.tracker = tracker
+        self.requests = list(requests)
+        self.rate_per_s = rate_per_s
+        self._rng = random.Random(seed)
+        self.issued_requests = 0
+        self.process = env.process(self._run())
+
+    def _run(self):
+        env = self.env
+        for request in self.requests:
+            yield env.timeout(self._rng.expovariate(self.rate_per_s))
+            request.region = self.region
+            request.sent_time = env.now
+            request.arrival_time = env.now
+            self.tracker.register(request)
+            self.frontend.dispatch(request)
+            self.issued_requests += 1

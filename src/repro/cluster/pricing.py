@@ -1,0 +1,88 @@
+"""GPU instance pricing used by the cost analyses (§2.1, §2.2, Fig. 3b, Fig. 10).
+
+The paper quotes AWS list prices: a ``p5.48xlarge`` (8xH100) three-year
+reserved instance at $37.56/hour versus $98.32/hour on demand, and notes
+that on-premise deployments can shave up to 46.3% off reserved-cloud cost
+over their lifetime.  The evaluation replicas run on single-L4 instances
+(``g6.xlarge``-class); we include those too so the Fig. 10 cost numbers can
+be expressed in dollars as well as replica counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "InstancePricing",
+    "P5_48XLARGE",
+    "G6_XLARGE",
+    "PRICING_CATALOG",
+    "ON_PREMISE_DISCOUNT",
+]
+
+#: Lifetime-TCO discount of on-premise clusters relative to reserved cloud
+#: instances (AIME 2025 analysis cited by the paper).
+ON_PREMISE_DISCOUNT = 0.463
+
+
+@dataclass(frozen=True)
+class InstancePricing:
+    """Hourly pricing for one GPU instance type."""
+
+    name: str
+    gpus_per_instance: int
+    gpu_type: str
+    on_demand_hourly: float
+    reserved_1yr_hourly: float
+    reserved_3yr_hourly: float
+
+    @property
+    def on_premise_hourly(self) -> float:
+        """Amortised on-premise hourly cost (reserved minus the TCO discount)."""
+        return self.reserved_3yr_hourly * (1.0 - ON_PREMISE_DISCOUNT)
+
+    def hourly(self, commitment: str) -> float:
+        """Hourly price for a commitment level.
+
+        ``commitment`` is one of ``"on_demand"``, ``"reserved_1yr"``,
+        ``"reserved_3yr"`` or ``"on_premise"``.
+        """
+        table = {
+            "on_demand": self.on_demand_hourly,
+            "reserved_1yr": self.reserved_1yr_hourly,
+            "reserved_3yr": self.reserved_3yr_hourly,
+            "on_premise": self.on_premise_hourly,
+        }
+        try:
+            return table[commitment]
+        except KeyError:
+            raise ValueError(
+                f"unknown commitment {commitment!r}; expected one of {sorted(table)}"
+            ) from None
+
+
+#: 8xH100 instance quoted in §2.1.
+P5_48XLARGE = InstancePricing(
+    name="p5.48xlarge",
+    gpus_per_instance=8,
+    gpu_type="H100",
+    on_demand_hourly=98.32,
+    reserved_1yr_hourly=57.96,
+    reserved_3yr_hourly=37.56,
+)
+
+#: Single-L4 instance class used for the evaluation replicas.
+G6_XLARGE = InstancePricing(
+    name="g6.xlarge",
+    gpus_per_instance=1,
+    gpu_type="L4",
+    on_demand_hourly=0.8048,
+    reserved_1yr_hourly=0.5071,
+    reserved_3yr_hourly=0.3476,
+)
+
+PRICING_CATALOG: Dict[str, InstancePricing] = {
+    P5_48XLARGE.name: P5_48XLARGE,
+    G6_XLARGE.name: G6_XLARGE,
+}

@@ -1,0 +1,61 @@
+"""SkyWalker's core: the locality-aware cross-region load balancer.
+
+This package contains the paper's contribution:
+
+* :class:`SkyWalkerBalancer` -- the regional load balancer with two-layer
+  cross-region routing (§3.1),
+* :class:`PrefixTree` and :class:`ConsistentHashRing` -- the two
+  prefix-aware candidate-selection mechanisms (§3.2),
+* the selective-pushing policies (§3.3),
+* :class:`AvailabilityMonitor` -- the heartbeat/probing loop of Algorithm 1,
+* :class:`ServiceController` -- the management plane with load-balancer
+  failure recovery (§4.2),
+* routing constraints such as GDPR data-residency (§4.1, §7).
+"""
+
+from .availability import AvailabilityMonitor, LoadBalancerProbe
+from .balancer import ROUTING_CONSISTENT_HASH, ROUTING_PREFIX_TREE, SkyWalkerBalancer
+from .controller import FailoverRecord, ServiceController
+from .hash_ring import ConsistentHashRing
+from .policies import (
+    AllowAll,
+    CompositeConstraint,
+    DenyRegions,
+    GDPRConstraint,
+    RoutingConstraint,
+    SameContinentConstraint,
+)
+from .prefix_tree import PrefixMatch, PrefixTree
+from .pushing import (
+    BlindPushing,
+    PushingPolicy,
+    ReplicaProbe,
+    SelectivePushingOutstanding,
+    SelectivePushingPending,
+    make_pushing_policy,
+)
+
+__all__ = [
+    "SkyWalkerBalancer",
+    "ROUTING_PREFIX_TREE",
+    "ROUTING_CONSISTENT_HASH",
+    "AvailabilityMonitor",
+    "LoadBalancerProbe",
+    "ServiceController",
+    "FailoverRecord",
+    "ConsistentHashRing",
+    "PrefixTree",
+    "PrefixMatch",
+    "PushingPolicy",
+    "ReplicaProbe",
+    "BlindPushing",
+    "SelectivePushingOutstanding",
+    "SelectivePushingPending",
+    "make_pushing_policy",
+    "RoutingConstraint",
+    "AllowAll",
+    "GDPRConstraint",
+    "SameContinentConstraint",
+    "DenyRegions",
+    "CompositeConstraint",
+]

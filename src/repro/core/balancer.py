@@ -1,0 +1,383 @@
+"""The SkyWalker regional load balancer (§3, Algorithm 1).
+
+One :class:`SkyWalkerBalancer` runs in every region.  It is the first point
+of contact for clients in that region, keeps a FCFS request queue, and for
+each request either
+
+* pushes it to an *available* local replica (selective pushing, §3.3), or
+* forwards it to an *available* remote load balancer (cross-region traffic
+  handling, §3.1), which then places it on one of its local replicas.
+
+Candidate selection is prefix-aware (§3.2) using either the regional prefix
+trees (``routing="prefix_tree"``, the full SkyWalker design) or two-layer
+consistent hashing (``routing="consistent_hash"``, SkyWalker-CH).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..network import Network
+from ..replica import ReplicaServer
+from ..sim import Environment, Interrupt, Store
+from ..workloads.request import Request, RequestStatus
+from .availability import AvailabilityMonitor
+from .hash_ring import ConsistentHashRing
+from .policies import AllowAll, RoutingConstraint
+from .prefix_tree import PrefixTree
+from .pushing import PushingPolicy, SelectivePushingPending
+
+__all__ = ["SkyWalkerBalancer", "ROUTING_PREFIX_TREE", "ROUTING_CONSISTENT_HASH"]
+
+ROUTING_PREFIX_TREE = "prefix_tree"
+ROUTING_CONSISTENT_HASH = "consistent_hash"
+
+
+def _default_hash_key(request: Request) -> str:
+    """Listing 1 uses the session id as the consistent-hashing key."""
+    return request.session_id
+
+
+class SkyWalkerBalancer:
+    """A regional load balancer participating in SkyWalker's two-layer design.
+
+    Parameters
+    ----------
+    routing:
+        ``"prefix_tree"`` (SkyWalker) or ``"consistent_hash"`` (SkyWalker-CH).
+    pushing_policy:
+        Selective-pushing policy; defaults to pending-request based SP-P.
+    prefix_match_threshold:
+        When the best prefix hit ratio falls below this value the balancer
+        prefers the least-loaded available target instead (the adaptive
+        behaviour discussed in §5.1).
+    allow_remote:
+        Disable to obtain the Region-Local baseline used in Fig. 10.
+    constraint:
+        Optional :class:`RoutingConstraint` (GDPR, same-continent, ...).
+    hash_key_fn:
+        Extracts the consistent-hashing key from a request (user id, session
+        id, question id, ... depending on the workload).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        network: Network,
+        *,
+        routing: str = ROUTING_PREFIX_TREE,
+        pushing_policy: Optional[PushingPolicy] = None,
+        probe_interval_s: float = 0.1,
+        prefix_match_threshold: float = 0.5,
+        trie_max_tokens: int = 2_000_000,
+        remote_queue_buffer: int = 4,
+        allow_remote: bool = True,
+        constraint: Optional[RoutingConstraint] = None,
+        hash_key_fn: Callable[[Request], str] = _default_hash_key,
+        balance_abs_threshold: int = 8,
+        balance_rel_threshold: float = 1.5,
+    ) -> None:
+        if routing not in (ROUTING_PREFIX_TREE, ROUTING_CONSISTENT_HASH):
+            raise ValueError(f"unknown routing policy {routing!r}")
+        self.env = env
+        self.name = name
+        self.region = region
+        self.network = network
+        self.routing = routing
+        self.pushing_policy = pushing_policy or SelectivePushingPending()
+        self.prefix_match_threshold = prefix_match_threshold
+        self.allow_remote = allow_remote
+        self.constraint = constraint or AllowAll()
+        self.hash_key_fn = hash_key_fn
+        #: Prefix affinity yields to load balancing when the preferred
+        #: replica is this much busier than the least-loaded candidate
+        #: (§3.3: "prefix-aware routing must be combined with effective load
+        #: balancing strategies").
+        self.balance_abs_threshold = balance_abs_threshold
+        self.balance_rel_threshold = balance_rel_threshold
+
+        self.inbox: Store = Store(env)
+        #: Requests accepted from the inbox but not yet placed (FCFS).
+        self.queue: Deque[Request] = deque()
+        self.monitor = AvailabilityMonitor(
+            env,
+            network,
+            region,
+            pushing_policy=self.pushing_policy,
+            probe_interval_s=probe_interval_s,
+            remote_queue_buffer=remote_queue_buffer,
+        )
+        # Prefix-aware state (§3.2): one tree/ring per routing layer.
+        self.replica_trie: PrefixTree[str] = PrefixTree(max_tokens=trie_max_tokens)
+        self.snapshot_trie: PrefixTree[str] = PrefixTree(max_tokens=trie_max_tokens)
+        self.replica_ring: ConsistentHashRing[str] = ConsistentHashRing()
+        self.balancer_ring: ConsistentHashRing[str] = ConsistentHashRing()
+
+        self._replicas: Dict[str, ReplicaServer] = {}
+        self._peers: Dict[str, "SkyWalkerBalancer"] = {}
+        self.healthy = True
+        self._process = None
+        #: Requests left behind by a failure, pending controller re-routing.
+        self.stranded: List[Request] = []
+
+        # Statistics.
+        self.received_requests = 0
+        self.received_forwards = 0
+        self.local_dispatches = 0
+        self.remote_forwards = 0
+        self.queue_wait_events = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def add_replica(self, replica: ReplicaServer) -> None:
+        """Attach a replica this balancer manages as local."""
+        self._replicas[replica.name] = replica
+        self.monitor.add_local_replica(replica)
+        self.replica_ring.add_target(replica.name)
+
+    def remove_replica(self, replica_name: str) -> Optional[ReplicaServer]:
+        replica = self._replicas.pop(replica_name, None)
+        self.monitor.remove_local_replica(replica_name)
+        self.replica_ring.remove_target(replica_name)
+        self.replica_trie.remove_target(replica_name)
+        return replica
+
+    def add_peer(self, balancer: "SkyWalkerBalancer") -> None:
+        """Register a remote load balancer as an offload target."""
+        if balancer.name == self.name:
+            return
+        self._peers[balancer.name] = balancer
+        self.monitor.add_remote_balancer(balancer)
+        self.balancer_ring.add_target(balancer.name)
+
+    def remove_peer(self, balancer_name: str) -> None:
+        self._peers.pop(balancer_name, None)
+        self.monitor.remove_remote_balancer(balancer_name)
+        self.balancer_ring.remove_target(balancer_name)
+        self.snapshot_trie.remove_target(balancer_name)
+
+    def local_replicas(self) -> List[ReplicaServer]:
+        return list(self._replicas.values())
+
+    def peers(self) -> List["SkyWalkerBalancer"]:
+        return list(self._peers.values())
+
+    def start(self) -> None:
+        """Start the availability monitor and the serving loop."""
+        self.monitor.start()
+        if self._process is None:
+            self._process = self.env.process(self._serve())
+
+    # ------------------------------------------------------------------
+    # state advertised to peers (read by their probes)
+    # ------------------------------------------------------------------
+    @property
+    def num_available_replicas(self) -> int:
+        return len(self.monitor.available_local_replicas())
+
+    @property
+    def queue_size(self) -> int:
+        return len(self.queue) + len(self.inbox.items)
+
+    # ------------------------------------------------------------------
+    # failure handling (used by the controller)
+    # ------------------------------------------------------------------
+    def fail(self) -> List[Request]:
+        """Crash this balancer, returning the requests stuck in its queue.
+
+        The stranded requests are also kept in :attr:`stranded` so that the
+        controller (which detects the failure later via health probing) can
+        re-route them even though it was not the caller of ``fail``.
+        """
+        if not self.healthy:
+            return []
+        self.healthy = False
+        stranded = list(self.queue)
+        self.queue.clear()
+        while self.inbox.items:
+            stranded.append(self.inbox.items.popleft())
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("balancer-failure")
+        self._process = None
+        self.stranded = list(stranded)
+        return stranded
+
+    def take_stranded(self) -> List[Request]:
+        """Hand over (and clear) the requests stranded by a failure."""
+        stranded = getattr(self, "stranded", [])
+        self.stranded = []
+        return list(stranded)
+
+    def recover(self) -> None:
+        """Restart a failed balancer with empty routing state."""
+        if self.healthy:
+            return
+        self.healthy = True
+        self._process = self.env.process(self._serve())
+
+    # ------------------------------------------------------------------
+    # serving loop (HANDLEREQUEST in Algorithm 1)
+    # ------------------------------------------------------------------
+    def _serve(self):
+        env = self.env
+        try:
+            while True:
+                if not self.queue:
+                    request = yield self.inbox.get()
+                    self._accept(request)
+                # Drain whatever else already arrived so queue_size is honest.
+                while self.inbox.items:
+                    self._accept(self.inbox.items.popleft())
+                request = self.queue[0]
+                placed = yield from self._place(request)
+                if placed:
+                    self.queue.popleft()
+        except Interrupt:
+            return
+
+    def _accept(self, request: Request) -> None:
+        self.received_requests += 1
+        if request.forward_hops > 0:
+            self.received_forwards += 1
+        if request.lb_arrival_time is None:
+            request.lb_arrival_time = self.env.now
+        request.status = RequestStatus.QUEUED_AT_LB
+        if request.ingress_region is None:
+            request.ingress_region = self.region
+        self.queue.append(request)
+
+    def _place(self, request: Request):
+        """Try to place the head-of-queue request; wait for availability if
+        nothing can take it (selective pushing queues at the LB)."""
+        while True:
+            local = self.monitor.available_local_replicas()
+            if local:
+                replica = self._select_replica(request, local)
+                self._dispatch_local(request, replica)
+                return True
+            if self.allow_remote and request.forward_hops == 0:
+                remotes = self._eligible_remote_balancers(request)
+                if remotes:
+                    peer = self._select_balancer(request, remotes)
+                    self._forward_remote(request, peer)
+                    return True
+            if self.pushing_policy.blind and self._replicas:
+                # Blind pushing never queues: fall back to any healthy local
+                # replica even if it looks full.
+                healthy = [r for r in self._replicas.values() if r.healthy]
+                if healthy:
+                    replica = self._select_replica(request, healthy)
+                    self._dispatch_local(request, replica)
+                    return True
+            # Nothing can accept the request right now: wait for the next
+            # probe update and retry (the request stays at the queue head).
+            self.queue_wait_events += 1
+            yield self.monitor.wait_for_change()
+
+    def _eligible_remote_balancers(self, request: Request) -> List["SkyWalkerBalancer"]:
+        candidates = self.monitor.available_remote_balancers()
+        return [
+            peer
+            for peer in candidates
+            if self.constraint.allows(request, self.region, peer.region)
+        ]
+
+    # ------------------------------------------------------------------
+    # candidate selection (SELECTCANDIDATE in Algorithm 1)
+    # ------------------------------------------------------------------
+    def _select_replica(self, request: Request, candidates: List[ReplicaServer]) -> ReplicaServer:
+        by_name = {replica.name: replica for replica in candidates}
+        if self.routing == ROUTING_CONSISTENT_HASH:
+            chosen = self.replica_ring.lookup(self.hash_key_fn(request), by_name.keys())
+            if chosen is not None:
+                return by_name[chosen]
+            return self._least_loaded(candidates)
+        match = self.replica_trie.best_target(request.prompt_tokens, by_name.keys())
+        if match.target is not None and match.hit_ratio >= self.prefix_match_threshold:
+            preferred = by_name[match.target]
+            if not self._severely_imbalanced(preferred, candidates):
+                return preferred
+        # Low prefix affinity (or a badly overloaded favourite): spread load
+        # over the available replicas instead.
+        return self._least_loaded(candidates)
+
+    def _estimated_load(self, replica: ReplicaServer) -> int:
+        probe = self.monitor.replica_probes.get(replica.name)
+        outstanding = probe.num_outstanding if probe else 0
+        return outstanding + self.monitor._dispatched_since_probe.get(replica.name, 0)
+
+    def _severely_imbalanced(self, preferred: ReplicaServer, candidates: List[ReplicaServer]) -> bool:
+        """Is the prefix-preferred replica much busier than the lightest one?"""
+        preferred_load = self._estimated_load(preferred)
+        lightest = min(self._estimated_load(replica) for replica in candidates)
+        return (
+            preferred_load > self.balance_abs_threshold
+            and preferred_load > self.balance_rel_threshold * max(lightest, 1)
+        )
+
+    def _select_balancer(
+        self, request: Request, candidates: List["SkyWalkerBalancer"]
+    ) -> "SkyWalkerBalancer":
+        by_name = {peer.name: peer for peer in candidates}
+        if self.routing == ROUTING_CONSISTENT_HASH:
+            chosen = self.balancer_ring.lookup(self.hash_key_fn(request), by_name.keys())
+            if chosen is not None:
+                return by_name[chosen]
+        else:
+            match = self.snapshot_trie.best_target(request.prompt_tokens, by_name.keys())
+            if match.target is not None and match.hit_ratio >= self.prefix_match_threshold:
+                return by_name[match.target]
+        # No prefix affinity anywhere: prefer the peer with the most free
+        # capacity, breaking ties by proximity.
+        def free_capacity(peer: "SkyWalkerBalancer") -> tuple:
+            probe = self.monitor.balancer_probes.get(peer.name)
+            available = probe.num_available_replicas if probe else 0
+            latency = self.network.topology.one_way(self.region, peer.region)
+            return (-available, latency)
+
+        return min(candidates, key=free_capacity)
+
+    def _least_loaded(self, candidates: List[ReplicaServer]) -> ReplicaServer:
+        return min(
+            candidates,
+            key=lambda replica: (self._estimated_load(replica), replica.name),
+        )
+
+    # ------------------------------------------------------------------
+    # routing actions
+    # ------------------------------------------------------------------
+    def _dispatch_local(self, request: Request, replica: ReplicaServer) -> None:
+        now = self.env.now
+        request.lb_dispatch_time = now
+        request.serving_region = self.region
+        request.replica_name = replica.name
+        request.status = RequestStatus.PENDING_AT_REPLICA
+        request.response_network_delay = self.network.topology.one_way(
+            replica.region, request.region
+        )
+        if self.routing == ROUTING_PREFIX_TREE:
+            self.replica_trie.insert(request.prompt_tokens, replica.name)
+        self.monitor.note_dispatch(replica.name)
+        self.network.deliver(request, self.region, replica.region, replica.inbox)
+        self.local_dispatches += 1
+
+    def _forward_remote(self, request: Request, peer: "SkyWalkerBalancer") -> None:
+        request.forward_hops += 1
+        request.status = RequestStatus.FORWARDED
+        if self.routing == ROUTING_PREFIX_TREE:
+            # The regional snapshot tracks the prompts this region has sent
+            # to each remote region (§3.2).
+            self.snapshot_trie.insert(request.prompt_tokens, peer.name)
+        self.monitor.note_forward(peer.name)
+        self.network.deliver(request, self.region, peer.region, peer.inbox)
+        self.remote_forwards += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<SkyWalkerBalancer {self.name} region={self.region} routing={self.routing} "
+            f"replicas={len(self._replicas)} peers={len(self._peers)} queue={self.queue_size}>"
+        )

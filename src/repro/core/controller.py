@@ -1,0 +1,140 @@
+"""The centralized service controller (§4.2).
+
+The controller is SkyWalker's management plane: it periodically probes the
+health of every load balancer and replica, reconfigures the system when a
+load balancer dies (re-assigning its replicas to the geographically closest
+healthy balancer and re-pointing DNS), initiates recovery in the background,
+and transfers the replicas back once the failed balancer returns.
+
+The controller is intentionally *not* on the data path -- requests never
+pass through it -- so its own failure only delays reconfiguration.  Its
+state can be rebuilt from the balancers at any time, which is what
+:meth:`ServiceController.rebuild_state` models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.client import Frontend
+from ..network import Network
+from ..replica import ReplicaServer
+from ..sim import Environment
+from ..workloads.request import Request
+from .balancer import SkyWalkerBalancer
+
+__all__ = ["ServiceController", "FailoverRecord"]
+
+
+@dataclass
+class FailoverRecord:
+    """Bookkeeping for one balancer failure being handled."""
+
+    failed_balancer: str
+    takeover_balancer: str
+    replica_names: List[str] = field(default_factory=list)
+    failed_at: float = 0.0
+    recovered_at: Optional[float] = None
+
+
+class ServiceController:
+    """Health monitoring, fail-over and recovery orchestration."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        frontend: Frontend,
+        *,
+        health_probe_interval_s: float = 0.5,
+        recovery_time_s: float = 10.0,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.frontend = frontend
+        self.health_probe_interval_s = health_probe_interval_s
+        self.recovery_time_s = recovery_time_s
+        self.balancers: Dict[str, SkyWalkerBalancer] = {}
+        self.failovers: List[FailoverRecord] = []
+        self._active_failovers: Dict[str, FailoverRecord] = {}
+        self._process = None
+
+    # ------------------------------------------------------------------
+    def register_balancer(self, balancer: SkyWalkerBalancer) -> None:
+        self.balancers[balancer.name] = balancer
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.env.process(self._run())
+
+    def rebuild_state(self) -> Dict[str, List[str]]:
+        """Recompute the replica ownership map from the balancers themselves
+        (controller crash recovery: its state is soft)."""
+        return {
+            name: [replica.name for replica in balancer.local_replicas()]
+            for name, balancer in self.balancers.items()
+        }
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        env = self.env
+        while True:
+            yield env.timeout(self.health_probe_interval_s)
+            for balancer in list(self.balancers.values()):
+                if not balancer.healthy and balancer.name not in self._active_failovers:
+                    self._handle_balancer_failure(balancer)
+
+    # ------------------------------------------------------------------
+    def _nearest_healthy_balancer(self, region: str, exclude: str) -> Optional[SkyWalkerBalancer]:
+        best: Optional[SkyWalkerBalancer] = None
+        best_latency = float("inf")
+        for balancer in self.balancers.values():
+            if balancer.name == exclude or not balancer.healthy:
+                continue
+            latency = self.network.topology.one_way(region, balancer.region)
+            if latency < best_latency:
+                best, best_latency = balancer, latency
+        return best
+
+    def _handle_balancer_failure(self, failed: SkyWalkerBalancer) -> None:
+        """Reassign the failed balancer's replicas and stranded requests."""
+        takeover = self._nearest_healthy_balancer(failed.region, exclude=failed.name)
+        failed.fail()  # idempotent if the failure was injected externally
+        stranded = failed.take_stranded()
+        self.frontend.set_health(failed.name, False)
+        record = FailoverRecord(
+            failed_balancer=failed.name,
+            takeover_balancer=takeover.name if takeover else "",
+            failed_at=self.env.now,
+        )
+        if takeover is not None:
+            for replica in failed.local_replicas():
+                record.replica_names.append(replica.name)
+                takeover.add_replica(replica)
+            for request in stranded:
+                # Stranded requests are re-routed through the takeover
+                # balancer; the extra hop is visible in their latency.
+                self.network.deliver(
+                    request, failed.region, takeover.region, takeover.inbox
+                )
+        self.failovers.append(record)
+        self._active_failovers[failed.name] = record
+        self.env.process(self._recover_later(failed, takeover, record))
+
+    def _recover_later(
+        self,
+        failed: SkyWalkerBalancer,
+        takeover: Optional[SkyWalkerBalancer],
+        record: FailoverRecord,
+    ):
+        yield self.env.timeout(self.recovery_time_s)
+        failed.recover()
+        if takeover is not None:
+            for replica_name in record.replica_names:
+                replica = takeover.remove_replica(replica_name)
+                if replica is not None:
+                    failed.add_replica(replica)
+        self.frontend.set_health(failed.name, True)
+        record.recovered_at = self.env.now
+        self._active_failovers.pop(failed.name, None)

@@ -1,0 +1,84 @@
+"""Customisable routing constraints (§4.1 "Customized routing policy", §7).
+
+SkyWalker lets operators restrict which regions may serve which traffic.
+The canonical example is GDPR: requests originating in GDPR regions must not
+be offloaded outside GDPR scope, while non-GDPR traffic may be offloaded
+anywhere (including into GDPR regions when those are underutilised).
+Amazon-Bedrock-style "same continent only" offloading is provided as well,
+both for comparison experiments and as another example policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..network import NetworkTopology
+from ..workloads.request import Request
+
+__all__ = [
+    "RoutingConstraint",
+    "AllowAll",
+    "GDPRConstraint",
+    "SameContinentConstraint",
+    "DenyRegions",
+    "CompositeConstraint",
+]
+
+
+class RoutingConstraint:
+    """Decides whether a request may be offloaded from one region to another."""
+
+    def allows(self, request: Request, src_region: str, dst_region: str) -> bool:
+        raise NotImplementedError
+
+    def filter_regions(
+        self, request: Request, src_region: str, candidates: Iterable[str]
+    ) -> List[str]:
+        return [dst for dst in candidates if self.allows(request, src_region, dst)]
+
+
+class AllowAll(RoutingConstraint):
+    """No restrictions: any region may serve any request."""
+
+    def allows(self, request: Request, src_region: str, dst_region: str) -> bool:
+        return True
+
+
+class GDPRConstraint(RoutingConstraint):
+    """GDPR data-residency: GDPR-origin traffic stays in GDPR regions."""
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self.topology = topology
+
+    def allows(self, request: Request, src_region: str, dst_region: str) -> bool:
+        return self.topology.gdpr_compatible(src_region, dst_region)
+
+
+class SameContinentConstraint(RoutingConstraint):
+    """Bedrock-style offloading limited to the originating continent."""
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self.topology = topology
+
+    def allows(self, request: Request, src_region: str, dst_region: str) -> bool:
+        return self.topology.same_continent(src_region, dst_region)
+
+
+class DenyRegions(RoutingConstraint):
+    """Never offload to an explicit deny-list of regions."""
+
+    def __init__(self, denied: Iterable[str]) -> None:
+        self.denied = set(denied)
+
+    def allows(self, request: Request, src_region: str, dst_region: str) -> bool:
+        return dst_region not in self.denied
+
+
+class CompositeConstraint(RoutingConstraint):
+    """All member constraints must allow the offload."""
+
+    def __init__(self, constraints: Iterable[RoutingConstraint]) -> None:
+        self.constraints = list(constraints)
+
+    def allows(self, request: Request, src_region: str, dst_region: str) -> bool:
+        return all(c.allows(request, src_region, dst_region) for c in self.constraints)

@@ -1,0 +1,262 @@
+"""The load balancer's prefix tree (§3.2, "SkyWalker with regional snapshot").
+
+This is the *router-side* structure, distinct from the replica's KV radix
+cache: it does not hold any KV memory, it records which load-balancing
+**targets** have previously been sent requests with a given prefix.  Each
+node stores the set of targets associated with the prefix spelled by the
+path from the root; because a target is recorded on *every* node along the
+inserted path, the target set of a child is always a subset of its parent's,
+which is what makes the early-terminating traversal in
+:meth:`PrefixTree.best_target` correct.
+
+Memory is bounded: the tree enforces ``max_tokens`` and evicts the
+earliest-inserted paths first, as described in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar
+
+__all__ = ["PrefixTree", "PrefixMatch"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class _TrieNode(Generic[T]):
+    __slots__ = ("key", "parent", "children", "targets", "insert_seq")
+
+    def __init__(self, key: Tuple[int, ...] = (), parent: Optional["_TrieNode[T]"] = None) -> None:
+        self.key = key
+        self.parent = parent
+        self.children: Dict[int, "_TrieNode[T]"] = {}
+        self.targets: Set[T] = set()
+        #: Sequence number of the most recent insert that touched this node;
+        #: eviction removes the leaves with the smallest value first.
+        self.insert_seq = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.key)
+
+
+class PrefixMatch(Generic[T]):
+    """Outcome of a :meth:`PrefixTree.best_target` lookup."""
+
+    def __init__(self, target: Optional[T], matched_tokens: int, prompt_tokens: int) -> None:
+        self.target = target
+        self.matched_tokens = matched_tokens
+        self.prompt_tokens = prompt_tokens
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.prompt_tokens == 0:
+            return 0.0
+        return self.matched_tokens / self.prompt_tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<PrefixMatch target={self.target!r} matched={self.matched_tokens}/{self.prompt_tokens}>"
+
+
+def _common_prefix_len(a: Sequence[int], b: Sequence[int]) -> int:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class PrefixTree(Generic[T]):
+    """Compressed trie mapping token prefixes to sets of routing targets."""
+
+    def __init__(self, max_tokens: float = 200_000) -> None:
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        self.max_tokens = max_tokens
+        self.root: _TrieNode[T] = _TrieNode()
+        self._total_tokens = 0
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens(self) -> int:
+        return self._total_tokens
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, tokens: Sequence[int], target: T) -> None:
+        """Record that ``target`` was chosen for a request with this prompt."""
+        tokens = tuple(tokens)
+        seq = next(self._seq)
+        node = self.root
+        node.targets.add(target)
+        idx = 0
+        n = len(tokens)
+        while idx < n:
+            child = node.children.get(tokens[idx])
+            if child is None:
+                child = _TrieNode(key=tokens[idx:], parent=node)
+                node.children[tokens[idx]] = child
+                self._total_tokens += child.num_tokens
+                child.targets.add(target)
+                child.insert_seq = seq
+                break
+            overlap = _common_prefix_len(child.key, tokens[idx:])
+            if overlap < len(child.key):
+                child = self._split(child, overlap)
+            child.targets.add(target)
+            child.insert_seq = seq
+            node = child
+            idx += overlap
+        self._enforce_capacity()
+
+    def _split(self, node: _TrieNode[T], offset: int) -> _TrieNode[T]:
+        """Split ``node`` so its first ``offset`` tokens become a new parent.
+
+        Returns the new upper node (which carries the shared prefix).
+        """
+        parent = node.parent
+        assert parent is not None and 0 < offset < len(node.key)
+        upper: _TrieNode[T] = _TrieNode(key=node.key[:offset], parent=parent)
+        upper.targets = set(node.targets)
+        upper.insert_seq = node.insert_seq
+        parent.children[upper.key[0]] = upper
+        node.key = node.key[offset:]
+        node.parent = upper
+        upper.children = {node.key[0]: node}
+        return upper
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def best_target(
+        self,
+        tokens: Sequence[int],
+        available: Iterable[T],
+    ) -> PrefixMatch[T]:
+        """The *available* target with the longest matching prefix.
+
+        The traversal stops early as soon as the current node has no
+        available target, because target sets only shrink down the tree
+        (Listing 1, line 21 and the §3.2 discussion).
+        """
+        available_set = set(available)
+        best_target: Optional[T] = None
+        best_depth = 0
+        matched = 0
+        node = self.root
+        idx = 0
+        n = len(tokens)
+        # A target is only returned for a non-empty prefix match; with zero
+        # overlap the caller falls back to its load-balancing tie-breaker.
+        while idx < n:
+            child = node.children.get(tokens[idx])
+            if child is None:
+                break
+            overlap = _common_prefix_len(child.key, tokens[idx:])
+            if overlap == 0:
+                break
+            reachable = child.targets & available_set
+            if not reachable:
+                # No available target deeper down this path: terminate early.
+                break
+            matched = idx + overlap
+            best_target = min(reachable, key=repr)
+            best_depth = matched
+            if overlap < len(child.key):
+                break
+            node = child
+            idx += overlap
+        if best_target is None:
+            return PrefixMatch(None, 0, n)
+        return PrefixMatch(best_target, best_depth, n)
+
+    def match_length(self, tokens: Sequence[int], target: Optional[T] = None) -> int:
+        """Longest prefix of ``tokens`` recorded in the tree (optionally for
+        one specific target); used by tie-breaking and by tests."""
+        node = self.root
+        idx = 0
+        n = len(tokens)
+        while idx < n:
+            child = node.children.get(tokens[idx])
+            if child is None:
+                break
+            overlap = _common_prefix_len(child.key, tokens[idx:])
+            if overlap == 0:
+                break
+            if target is not None and target not in child.targets:
+                break
+            idx += overlap
+            if overlap < len(child.key):
+                break
+            node = child
+        return idx
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def remove_target(self, target: T) -> None:
+        """Erase every reference to ``target`` (replica/LB decommissioned)."""
+        for node in self._iter_nodes():
+            node.targets.discard(target)
+        self._prune_empty()
+
+    def _prune_empty(self) -> None:
+        removed = True
+        while removed:
+            removed = False
+            for node in list(self._iter_nodes()):
+                if node.is_root or node.children or node.targets:
+                    continue
+                parent = node.parent
+                assert parent is not None
+                del parent.children[node.key[0]]
+                self._total_tokens -= node.num_tokens
+                removed = True
+
+    def _enforce_capacity(self) -> None:
+        while self._total_tokens > self.max_tokens:
+            victim = self._oldest_leaf()
+            if victim is None:
+                return
+            parent = victim.parent
+            assert parent is not None
+            del parent.children[victim.key[0]]
+            self._total_tokens -= victim.num_tokens
+
+    def _oldest_leaf(self) -> Optional[_TrieNode[T]]:
+        best: Optional[_TrieNode[T]] = None
+        for node in self._iter_nodes():
+            if node.is_root or node.children:
+                continue
+            if best is None or node.insert_seq < best.insert_seq:
+                best = node
+        return best
+
+    def _iter_nodes(self) -> Iterable[_TrieNode[T]]:
+        stack: List[_TrieNode[T]] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural checks used by the property-based tests."""
+        counted = 0
+        for node in self._iter_nodes():
+            if node.is_root:
+                continue
+            counted += node.num_tokens
+            assert node.parent is not None
+            if not node.targets.issubset(node.parent.targets) and not node.parent.is_root:
+                raise AssertionError("child target set is not a subset of its parent's")
+        if counted != self._total_tokens:
+            raise AssertionError(
+                f"token accounting mismatch: counted {counted}, recorded {self._total_tokens}"
+            )

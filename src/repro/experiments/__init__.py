@@ -1,0 +1,66 @@
+"""Experiment scenarios and runners for every figure in the paper's evaluation."""
+
+from .config import (
+    ALL_SYSTEMS,
+    BASELINE_SYSTEMS,
+    SYSTEM_KINDS,
+    ClusterConfig,
+    ExperimentConfig,
+    SystemConfig,
+    WorkloadSpec,
+)
+from .diurnal_sweep import DiurnalSweepResult, build_skewed_workload, run_diurnal_sweep
+from .hitrate import (
+    SCENARIOS as HITRATE_SCENARIOS,
+    HitRateComparison,
+    HitRateScenario,
+    build_scenario,
+    evaluate_hit_rates,
+    run_hitrate_benchmark,
+)
+from .imbalance import ImbalanceResult, run_imbalance_experiment
+from .macro import MacroResult, default_macro_cluster, run_macro_benchmark
+from .pushing import PushingResult, build_single_region_tot_workload, run_pushing_benchmark
+from .runner import ExperimentResult, build_system, run_experiment
+from .workloads import (
+    MACRO_WORKLOAD_BUILDERS,
+    build_arena_workload,
+    build_mixed_tree_workload,
+    build_tot_workload,
+    build_wildchat_workload,
+)
+
+__all__ = [
+    "SystemConfig",
+    "ClusterConfig",
+    "WorkloadSpec",
+    "ExperimentConfig",
+    "SYSTEM_KINDS",
+    "BASELINE_SYSTEMS",
+    "ALL_SYSTEMS",
+    "ExperimentResult",
+    "run_experiment",
+    "build_system",
+    "MacroResult",
+    "run_macro_benchmark",
+    "default_macro_cluster",
+    "PushingResult",
+    "run_pushing_benchmark",
+    "build_single_region_tot_workload",
+    "HitRateComparison",
+    "HitRateScenario",
+    "HITRATE_SCENARIOS",
+    "build_scenario",
+    "evaluate_hit_rates",
+    "run_hitrate_benchmark",
+    "ImbalanceResult",
+    "run_imbalance_experiment",
+    "DiurnalSweepResult",
+    "run_diurnal_sweep",
+    "build_skewed_workload",
+    "MACRO_WORKLOAD_BUILDERS",
+    "build_arena_workload",
+    "build_wildchat_workload",
+    "build_tot_workload",
+    "build_mixed_tree_workload",
+]

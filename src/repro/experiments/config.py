@@ -1,0 +1,138 @@
+"""Experiment configuration objects.
+
+Every end-to-end run is described by three pieces:
+
+* a :class:`SystemConfig` -- which load-balancing system to build (SkyWalker,
+  SkyWalker-CH, or one of the §5.1 baselines) and its knobs,
+* a :class:`ClusterConfig` -- how many replicas per region and which model
+  profile they run, and
+* a :class:`WorkloadSpec` -- the programs each region's clients execute.
+
+Keeping the description declarative lets the benchmark harness sweep systems
+and workloads without duplicating wiring code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..replica import LLAMA_8B_L4, ModelProfile
+from ..workloads.program import Program
+
+__all__ = [
+    "SystemConfig",
+    "ClusterConfig",
+    "WorkloadSpec",
+    "ExperimentConfig",
+    "SYSTEM_KINDS",
+    "BASELINE_SYSTEMS",
+    "ALL_SYSTEMS",
+]
+
+#: Every system kind the runner knows how to build.
+SYSTEM_KINDS = (
+    "gke-gateway",
+    "round-robin",
+    "least-load",
+    "consistent-hash",
+    "sglang-router",
+    "skywalker-ch",
+    "skywalker",
+    "region-local",
+)
+
+#: The baselines of Fig. 8 in presentation order.
+BASELINE_SYSTEMS = (
+    "gke-gateway",
+    "round-robin",
+    "least-load",
+    "consistent-hash",
+    "sglang-router",
+)
+
+#: Full Fig. 8 line-up.
+ALL_SYSTEMS = BASELINE_SYSTEMS + ("skywalker-ch", "skywalker")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Which balancer architecture to build and how to configure it."""
+
+    kind: str
+    label: Optional[str] = None
+    #: Pushing policy for SkyWalker variants: "BP", "SP-O" or "SP-P".
+    pushing: str = "SP-P"
+    sp_o_threshold: int = 24
+    probe_interval_s: float = 0.1
+    prefix_match_threshold: float = 0.5
+    trie_max_tokens: int = 2_000_000
+    #: Consistent-hashing key: "user" (user id) or "session" (session id).
+    hash_key: str = "user"
+    #: Region hosting the single balancer of centralized baselines.
+    central_region: str = "us"
+    #: Optional routing constraint: None, "gdpr" or "continent".
+    constraint: Optional[str] = None
+    #: Gateway spill threshold (GKE baseline only).
+    gateway_spill_threshold: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SYSTEM_KINDS:
+            raise ValueError(f"unknown system kind {self.kind!r}; expected one of {SYSTEM_KINDS}")
+        if self.hash_key not in ("user", "session"):
+            raise ValueError("hash_key must be 'user' or 'session'")
+
+    @property
+    def name(self) -> str:
+        return self.label or self.kind
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Replica fleet description."""
+
+    replicas_per_region: Dict[str, int] = field(
+        default_factory=lambda: {"us": 4, "eu": 4, "asia": 4}
+    )
+    profile: ModelProfile = LLAMA_8B_L4
+    enable_prefix_cache: bool = True
+    record_utilization: bool = False
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(self.replicas_per_region.values())
+
+
+@dataclass
+class WorkloadSpec:
+    """Programs and client concurrency per region."""
+
+    name: str
+    programs_by_region: Dict[str, List[Program]]
+    clients_per_region: Dict[str, int]
+    #: Which identity field the workload's natural consistent-hashing key is
+    #: ("user" for chat datasets, "session" for Tree-of-Thoughts questions).
+    hash_key: str = "user"
+
+    @property
+    def total_programs(self) -> int:
+        return sum(len(programs) for programs in self.programs_by_region.values())
+
+    @property
+    def total_requests(self) -> int:
+        return sum(
+            program.num_requests
+            for programs in self.programs_by_region.values()
+            for program in programs
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete end-to-end run description."""
+
+    system: SystemConfig
+    cluster: ClusterConfig
+    duration_s: float = 120.0
+    seed: int = 0
+    network_jitter: float = 0.05

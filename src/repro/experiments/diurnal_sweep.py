@@ -1,0 +1,173 @@
+"""Fig. 10: SkyWalker vs region-local deployment under regionally skewed load.
+
+The paper emulates US working hours: 120 clients in the US versus 40 each in
+Europe and Asia, and sweeps the total replica count (evenly split across the
+three regions).  SkyWalker's cross-region offloading lets the US spill its
+excess load into the underused regions, so it reaches a given throughput
+with fewer replicas -- the paper's 9-replica SkyWalker matches the
+12-replica region-local deployment, a 25 % cost reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.cost import CostModel
+from ..metrics import LatencySummary, RunMetrics
+from ..workloads import ARENA_LIKE, ConversationConfig, ConversationWorkload
+from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .runner import run_experiment
+
+__all__ = ["DiurnalSweepResult", "build_skewed_workload", "run_diurnal_sweep"]
+
+_REGIONS = ("us", "eu", "asia")
+
+
+@dataclass
+class DiurnalSweepResult:
+    """Throughput per system per total replica count."""
+
+    skywalker: Dict[int, RunMetrics] = field(default_factory=dict)
+    region_local: Dict[int, RunMetrics] = field(default_factory=dict)
+
+    def replica_counts(self) -> List[int]:
+        return sorted(set(self.skywalker) | set(self.region_local))
+
+    def throughput_series(self) -> Dict[str, Dict[int, float]]:
+        return {
+            "skywalker": {
+                n: metrics.throughput_tokens_per_s for n, metrics in self.skywalker.items()
+            },
+            "region-local": {
+                n: metrics.throughput_tokens_per_s for n, metrics in self.region_local.items()
+            },
+        }
+
+    def speedup_at(self, replicas: int) -> float:
+        """SkyWalker throughput over region-local at equal replica count."""
+        base = self.region_local[replicas].throughput_tokens_per_s
+        if base == 0:
+            return float("inf")
+        return self.skywalker[replicas].throughput_tokens_per_s / base
+
+    def tail_ttft_improvement_at(self, replicas: int) -> float:
+        """Region-local p90 TTFT over SkyWalker p90 TTFT (higher = better)."""
+        sky = self.skywalker[replicas].ttft.p90
+        if sky == 0:
+            return float("inf")
+        return self.region_local[replicas].ttft.p90 / sky
+
+    def replicas_matching_region_local(self, region_local_replicas: int) -> Optional[int]:
+        """Smallest SkyWalker fleet whose throughput matches (or exceeds) the
+        region-local deployment with ``region_local_replicas`` replicas."""
+        if region_local_replicas not in self.region_local:
+            return None
+        target = self.region_local[region_local_replicas].throughput_tokens_per_s
+        for count in sorted(self.skywalker):
+            if self.skywalker[count].throughput_tokens_per_s >= target:
+                return count
+        return None
+
+    def replicas_meeting_slo(self, system: str, ttft_p90_slo_s: float,
+                             region: Optional[str] = "us") -> Optional[int]:
+        """Smallest fleet whose (optionally per-region) p90 TTFT meets an SLO.
+
+        The overloaded region's tail latency is what forces region-local
+        deployments to over-provision; SkyWalker meets the same SLO with
+        fewer replicas by spilling that region's excess load elsewhere.
+        """
+        runs = self.skywalker if system == "skywalker" else self.region_local
+        for count in sorted(runs):
+            metrics = runs[count]
+            key = f"{region}_ttft_p90"
+            value = metrics.extra.get(key, metrics.ttft.p90) if region else metrics.ttft.p90
+            if value <= ttft_p90_slo_s:
+                return count
+        return None
+
+    def cost_reduction(self, region_local_replicas: int) -> Optional[float]:
+        """Fractional cost saved at equal throughput (the paper reports 25 %)."""
+        match = self.replicas_matching_region_local(region_local_replicas)
+        if match is None:
+            return None
+        model = CostModel(requests_per_replica_hour=1.0)
+        return model.cost_reduction_at_equal_throughput(match, region_local_replicas)
+
+    def slo_cost_reduction(self, ttft_p90_slo_s: float, region: str = "us") -> Optional[float]:
+        """Fractional replica (and thus reserved-cost) saving at equal SLO."""
+        sky = self.replicas_meeting_slo("skywalker", ttft_p90_slo_s, region)
+        local = self.replicas_meeting_slo("region-local", ttft_p90_slo_s, region)
+        if sky is None or local is None or local == 0:
+            return None
+        return 1.0 - sky / local
+
+
+def build_skewed_workload(scale: float = 1.0, *, seed: int = 5,
+                          conversations_per_client: int = 3) -> WorkloadSpec:
+    """US-peak-hours workload: 120 US clients, 40 each in Europe and Asia.
+
+    Conversations follow the ChatBot-Arena length profile (shorter prompts
+    than WildChat) so that the US region's overload is dominated by demand
+    rather than by individual giant prompts.
+    """
+    clients = {
+        "us": max(1, int(round(120 * scale))),
+        "eu": max(1, int(round(40 * scale))),
+        "asia": max(1, int(round(40 * scale))),
+    }
+    programs_by_region = {}
+    for region, count in clients.items():
+        config = ConversationConfig(
+            regions=(region,),
+            users_per_region=count,
+            conversations_per_user=conversations_per_client,
+            turns_range=(2, 4),
+            lengths=ARENA_LIKE,
+            seed=seed + hash(region) % 997,
+        )
+        programs_by_region[region] = ConversationWorkload(config).generate_programs()
+    return WorkloadSpec(
+        name="regionally-skewed",
+        programs_by_region=programs_by_region,
+        clients_per_region=clients,
+        hash_key="user",
+    )
+
+
+def run_diurnal_sweep(
+    *,
+    replica_counts: Sequence[int] = (3, 6, 9, 12, 15, 18),
+    scale: float = 0.2,
+    duration_s: float = 120.0,
+    seed: int = 5,
+) -> DiurnalSweepResult:
+    """Sweep total replica counts for SkyWalker and the region-local baseline."""
+    result = DiurnalSweepResult()
+    for total in replica_counts:
+        if total % len(_REGIONS) != 0:
+            raise ValueError("replica counts must be divisible by the number of regions")
+        per_region = total // len(_REGIONS)
+        cluster = ClusterConfig(
+            replicas_per_region={region: per_region for region in _REGIONS}
+        )
+        for kind, bucket in (("skywalker", result.skywalker), ("region-local", result.region_local)):
+            workload = build_skewed_workload(scale=scale, seed=seed)
+            config = ExperimentConfig(
+                system=SystemConfig(kind=kind, hash_key="user"),
+                cluster=cluster,
+                duration_s=duration_s,
+                seed=seed,
+            )
+            outcome = run_experiment(config, workload)
+            metrics = outcome.metrics
+            # Per-region tail latency: the overloaded (US) region is the one
+            # a region-local deployment must over-provision for.
+            for region in _REGIONS:
+                ttfts = [r.ttft for r in outcome.completed if r.region == region and r.ttft is not None]
+                if ttfts:
+                    summary = LatencySummary.from_values(ttfts)
+                    metrics.extra[f"{region}_ttft_p90"] = summary.p90
+                    metrics.extra[f"{region}_ttft_p50"] = summary.p50
+            bucket[total] = metrics
+    return result

@@ -1,0 +1,102 @@
+"""Fig. 8 macro-benchmark: throughput, TTFT and end-to-end latency of every
+system on every workload.
+
+The paper runs up to 12 single-L4 replicas across three regions with clients
+in all three regions and compares GKE Gateway, Round Robin, Least Load,
+Consistent Hashing, the SGLang Router and both SkyWalker variants.  The
+``scale`` knob shrinks client counts and replica counts together so the same
+code drives quick CI runs and full-fidelity reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..metrics import RunMetrics
+from .config import ALL_SYSTEMS, ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .runner import run_experiment
+from .workloads import MACRO_WORKLOAD_BUILDERS
+
+__all__ = ["MacroResult", "run_macro_benchmark", "default_macro_cluster"]
+
+
+@dataclass
+class MacroResult:
+    """All runs of one macro-benchmark sweep, indexed by (system, workload)."""
+
+    runs: Dict[str, Dict[str, RunMetrics]] = field(default_factory=dict)
+
+    def add(self, metrics: RunMetrics) -> None:
+        self.runs.setdefault(metrics.workload, {})[metrics.system] = metrics
+
+    def workloads(self) -> List[str]:
+        return list(self.runs)
+
+    def systems(self, workload: str) -> List[str]:
+        return list(self.runs[workload])
+
+    def get(self, workload: str, system: str) -> RunMetrics:
+        return self.runs[workload][system]
+
+    def throughput_table(self) -> Dict[str, Dict[str, float]]:
+        return {
+            workload: {system: m.throughput_tokens_per_s for system, m in row.items()}
+            for workload, row in self.runs.items()
+        }
+
+    def speedup_over_baselines(self, workload: str, system: str = "skywalker") -> Dict[str, float]:
+        """Throughput of ``system`` relative to every other system (paper
+        reports 1.12-2.06x over the baselines)."""
+        row = self.runs[workload]
+        target = row[system].throughput_tokens_per_s
+        return {
+            other: target / metrics.throughput_tokens_per_s
+            for other, metrics in row.items()
+            if other != system and metrics.throughput_tokens_per_s > 0
+        }
+
+    def format_report(self) -> str:
+        lines: List[str] = []
+        for workload, row in self.runs.items():
+            lines.append(f"== {workload} ==")
+            for system, metrics in row.items():
+                lines.append("  " + metrics.format_row())
+        return "\n".join(lines)
+
+
+def default_macro_cluster(scale: float = 1.0, *, record_utilization: bool = False) -> ClusterConfig:
+    """The paper's 12-replica, three-region cluster (scaled)."""
+    per_region = max(1, int(round(4 * scale)))
+    return ClusterConfig(
+        replicas_per_region={"us": per_region, "eu": per_region, "asia": per_region},
+        record_utilization=record_utilization,
+    )
+
+
+def run_macro_benchmark(
+    *,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    workloads: Sequence[str] = ("chatbot-arena", "wildchat", "tree-of-thoughts", "mixed-tree"),
+    scale: float = 0.2,
+    duration_s: float = 120.0,
+    cluster: Optional[ClusterConfig] = None,
+    seed: int = 0,
+) -> MacroResult:
+    """Run the Fig. 8 sweep and return all metrics."""
+    cluster = cluster or default_macro_cluster(scale)
+    result = MacroResult()
+    for workload_name in workloads:
+        builder = MACRO_WORKLOAD_BUILDERS[workload_name]
+        for system_kind in systems:
+            workload = builder(scale=scale, seed=seed)
+            system = SystemConfig(kind=system_kind, hash_key=workload.hash_key)
+            config = ExperimentConfig(
+                system=system,
+                cluster=cluster,
+                duration_s=duration_s,
+                seed=seed,
+            )
+            outcome = run_experiment(config, workload)
+            result.add(outcome.metrics)
+    return result

@@ -1,0 +1,92 @@
+"""Fig. 9 micro-benchmark: blind pushing vs the two selective-pushing variants.
+
+The paper isolates the pushing mechanism by running everything inside a
+single region (no cross-region effects): 4 replicas, 30 clients, the
+2-branch Tree-of-Thoughts workload, with a prefix-aware router whose pushing
+policy is swapped between BP, SP-O and SP-P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..metrics import RunMetrics
+from ..workloads import TreeOfThoughtsConfig, TreeOfThoughtsWorkload
+from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .runner import run_experiment
+
+__all__ = ["PushingResult", "run_pushing_benchmark", "build_single_region_tot_workload"]
+
+PUSHING_VARIANTS = ("BP", "SP-O", "SP-P")
+
+
+@dataclass
+class PushingResult:
+    """Metrics per pushing policy."""
+
+    runs: Dict[str, RunMetrics] = field(default_factory=dict)
+
+    def get(self, policy: str) -> RunMetrics:
+        return self.runs[policy]
+
+    def throughput_gain(self, over: str = "BP", policy: str = "SP-P") -> float:
+        base = self.runs[over].throughput_tokens_per_s
+        if base == 0:
+            return float("inf")
+        return self.runs[policy].throughput_tokens_per_s / base
+
+    def p90_ttft_reduction(self, over: str = "BP", policy: str = "SP-P") -> float:
+        target = self.runs[policy].ttft.p90
+        if target == 0:
+            return float("inf")
+        return self.runs[over].ttft.p90 / target
+
+    def format_report(self) -> str:
+        return "\n".join(metrics.format_row() for metrics in self.runs.values())
+
+
+def build_single_region_tot_workload(
+    *, region: str = "us", clients: int = 30, trees_per_client: int = 2, seed: int = 7
+) -> WorkloadSpec:
+    """The single-region 2-branch ToT workload used in §5.2."""
+    generator = TreeOfThoughtsWorkload(
+        TreeOfThoughtsConfig(branching_factor=2, depth=4, seed=seed)
+    )
+    programs = generator.generate_programs(clients * trees_per_client, region)
+    return WorkloadSpec(
+        name="tot-single-region",
+        programs_by_region={region: programs},
+        clients_per_region={region: clients},
+        hash_key="session",
+    )
+
+
+def run_pushing_benchmark(
+    *,
+    policies: Sequence[str] = PUSHING_VARIANTS,
+    replicas: int = 4,
+    clients: int = 30,
+    duration_s: float = 120.0,
+    sp_o_threshold: int = 24,
+    region: str = "us",
+    seed: int = 7,
+) -> PushingResult:
+    """Run the BP / SP-O / SP-P comparison in one region."""
+    result = PushingResult()
+    for policy in policies:
+        workload = build_single_region_tot_workload(
+            region=region, clients=clients, seed=seed
+        )
+        system = SystemConfig(
+            kind="skywalker",
+            label=policy,
+            pushing=policy,
+            sp_o_threshold=sp_o_threshold,
+            hash_key="session",
+        )
+        cluster = ClusterConfig(replicas_per_region={region: replicas})
+        config = ExperimentConfig(system=system, cluster=cluster, duration_s=duration_s, seed=seed)
+        outcome = run_experiment(config, workload)
+        result.runs[policy] = outcome.metrics
+    return result

@@ -1,0 +1,241 @@
+"""End-to-end experiment runner.
+
+``run_experiment`` builds the whole stack -- network, replicas, the selected
+load-balancing system, clients -- runs the simulation for the configured
+duration and aggregates metrics.  It is the single entry point used by the
+examples, the test-suite's integration tests and every Fig. 8/9/10 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..balancers import (
+    ConsistentHashBalancer,
+    GatewayBalancer,
+    LeastLoadBalancer,
+    RoundRobinBalancer,
+    SGLangRouterBalancer,
+)
+from ..cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
+from ..core import (
+    GDPRConstraint,
+    ROUTING_CONSISTENT_HASH,
+    ROUTING_PREFIX_TREE,
+    SameContinentConstraint,
+    SkyWalkerBalancer,
+    make_pushing_policy,
+)
+from ..metrics import RunMetrics, collect_run_metrics
+from ..network import Network, NetworkTopology, default_topology
+from ..sim import Environment
+from ..workloads.program import Program
+from ..workloads.request import Request
+from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+
+__all__ = ["ExperimentResult", "run_experiment", "build_system"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a caller might want to inspect after a run."""
+
+    metrics: RunMetrics
+    deployment: Deployment
+    balancers: List[object]
+    tracker: RequestTracker
+    frontend: Frontend
+    env: Environment
+
+    @property
+    def completed(self) -> List[Request]:
+        return self.tracker.completed
+
+
+def _hash_key_fn(which: str) -> Callable[[Request], str]:
+    if which == "user":
+        return lambda request: request.user_id
+    return lambda request: request.session_id
+
+
+def _make_constraint(system: SystemConfig, topology: NetworkTopology):
+    if system.constraint is None:
+        return None
+    if system.constraint == "gdpr":
+        return GDPRConstraint(topology)
+    if system.constraint == "continent":
+        return SameContinentConstraint(topology)
+    raise ValueError(f"unknown constraint {system.constraint!r}")
+
+
+def build_system(
+    system: SystemConfig,
+    env: Environment,
+    network: Network,
+    deployment: Deployment,
+    frontend: Frontend,
+    *,
+    client_regions: Sequence[str] = (),
+    hash_key: Optional[str] = None,
+) -> List[object]:
+    """Instantiate the requested load-balancing system and register it with
+    the frontend.  Returns the created balancer objects."""
+    topology = network.topology
+    key_fn = _hash_key_fn(hash_key or system.hash_key)
+    kind = system.kind
+
+    centralized = {
+        "round-robin": RoundRobinBalancer,
+        "least-load": LeastLoadBalancer,
+        "consistent-hash": ConsistentHashBalancer,
+        "sglang-router": SGLangRouterBalancer,
+    }
+    if kind in centralized:
+        cls = centralized[kind]
+        kwargs = {}
+        if kind == "consistent-hash":
+            kwargs["hash_key_fn"] = key_fn
+        balancer = cls(env, f"{kind}@{system.central_region}", system.central_region, network, **kwargs)
+        for replica in deployment.replicas:
+            balancer.add_replica(replica)
+        balancer.start()
+        frontend.register_balancer(balancer)
+        return [balancer]
+
+    regions = sorted(set(deployment.regions) | set(client_regions))
+
+    if kind == "gke-gateway":
+        gateways = []
+        for region in regions:
+            gateway = GatewayBalancer(
+                env,
+                f"gateway@{region}",
+                region,
+                network,
+                spill_threshold=system.gateway_spill_threshold,
+            )
+            for replica in deployment.replicas:
+                gateway.add_replica(replica)
+            gateway.start()
+            frontend.register_balancer(gateway)
+            gateways.append(gateway)
+        return gateways
+
+    if kind in ("skywalker", "skywalker-ch", "region-local"):
+        routing = ROUTING_CONSISTENT_HASH if kind == "skywalker-ch" else ROUTING_PREFIX_TREE
+        allow_remote = kind != "region-local"
+        constraint = _make_constraint(system, topology)
+        balancers: List[SkyWalkerBalancer] = []
+        for region in regions:
+            pushing_kwargs = {}
+            if system.pushing.upper() == "SP-O":
+                pushing_kwargs["max_outstanding"] = system.sp_o_threshold
+            balancer = SkyWalkerBalancer(
+                env,
+                f"{kind}@{region}",
+                region,
+                network,
+                routing=routing,
+                pushing_policy=make_pushing_policy(system.pushing, **pushing_kwargs),
+                probe_interval_s=system.probe_interval_s,
+                prefix_match_threshold=system.prefix_match_threshold,
+                trie_max_tokens=system.trie_max_tokens,
+                allow_remote=allow_remote,
+                constraint=constraint,
+                hash_key_fn=key_fn,
+            )
+            for replica in deployment.replicas_in(region):
+                balancer.add_replica(replica)
+            balancers.append(balancer)
+        for balancer in balancers:
+            for peer in balancers:
+                if peer is not balancer:
+                    balancer.add_peer(peer)
+            balancer.start()
+            frontend.register_balancer(balancer)
+        return balancers
+
+    raise ValueError(f"unknown system kind {kind!r}")
+
+
+def _split_round_robin(programs: Sequence[Program], parts: int) -> List[List[Program]]:
+    chunks: List[List[Program]] = [[] for _ in range(parts)]
+    for index, program in enumerate(programs):
+        chunks[index % parts].append(program)
+    return chunks
+
+
+def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> ExperimentResult:
+    """Build the full stack, run it and collect metrics."""
+    env = Environment()
+    topology = default_topology()
+    network = Network(env, topology, jitter_fraction=config.network_jitter, seed=config.seed)
+
+    specs = [
+        ReplicaSpec(region=region, count=count, profile=config.cluster.profile)
+        for region, count in config.cluster.replicas_per_region.items()
+        if count > 0
+    ]
+    deployment = Deployment(
+        env,
+        specs,
+        topology=topology,
+        network=network,
+        enable_prefix_cache=config.cluster.enable_prefix_cache,
+        record_utilization=config.cluster.record_utilization,
+    )
+
+    tracker = RequestTracker(env)
+    for replica in deployment.replicas:
+        replica.add_completion_listener(tracker.complete)
+
+    frontend = Frontend(env, network)
+    balancers = build_system(
+        config.system,
+        env,
+        network,
+        deployment,
+        frontend,
+        client_regions=list(workload.clients_per_region),
+        hash_key=workload.hash_key,
+    )
+
+    clients: List[ClosedLoopClient] = []
+    for region, num_clients in workload.clients_per_region.items():
+        programs = workload.programs_by_region.get(region, [])
+        if not programs or num_clients <= 0:
+            continue
+        for index, chunk in enumerate(_split_round_robin(programs, num_clients)):
+            if not chunk:
+                continue
+            clients.append(
+                ClosedLoopClient(
+                    env,
+                    name=f"{region}/client-{index}",
+                    region=region,
+                    frontend=frontend,
+                    tracker=tracker,
+                    programs=chunk,
+                )
+            )
+
+    env.run(until=config.duration_s)
+
+    issued = sum(client.issued_requests for client in clients)
+    metrics = collect_run_metrics(
+        system=config.system.name,
+        workload=workload.name,
+        duration_s=config.duration_s,
+        completed=tracker.completed,
+        issued=issued,
+        deployment=deployment,
+    )
+    return ExperimentResult(
+        metrics=metrics,
+        deployment=deployment,
+        balancers=balancers,
+        tracker=tracker,
+        frontend=frontend,
+        env=env,
+    )

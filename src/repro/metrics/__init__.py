@@ -1,0 +1,6 @@
+"""Metrics: latency summaries and end-of-run aggregation."""
+
+from .collector import RunMetrics, collect_run_metrics
+from .summary import LatencySummary, percentile
+
+__all__ = ["LatencySummary", "percentile", "RunMetrics", "collect_run_metrics"]

@@ -1,0 +1,14 @@
+"""Simulated wide-area network: topology, latency-faithful transport, DNS."""
+
+from .dns import GeoDNS
+from .link import Network
+from .topology import NetworkTopology, RegionInfo, default_topology, wide_topology
+
+__all__ = [
+    "NetworkTopology",
+    "RegionInfo",
+    "default_topology",
+    "wide_topology",
+    "Network",
+    "GeoDNS",
+]

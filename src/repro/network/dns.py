@@ -1,0 +1,66 @@
+"""Latency-based DNS resolution (the Route53 analogue in §4.1).
+
+SkyWalker publishes one domain name; each client resolves it to the nearest
+*healthy* load balancer based on its source region.  The resolver is also
+what the failure-recovery path manipulates: when a regional load balancer
+dies, its clients are re-resolved to the next-closest one until recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .topology import NetworkTopology
+
+__all__ = ["GeoDNS"]
+
+
+class GeoDNS:
+    """Maps client regions to the nearest healthy endpoint."""
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self.topology = topology
+        #: endpoint name -> region it is deployed in
+        self._endpoints: Dict[str, str] = {}
+        #: endpoint name -> health flag
+        self._healthy: Dict[str, bool] = {}
+        self.resolutions = 0
+
+    # ------------------------------------------------------------------
+    def register(self, endpoint: str, region: str) -> None:
+        """Add an endpoint (load balancer) serving from ``region``."""
+        self.topology.info(region)  # validates the region exists
+        self._endpoints[endpoint] = region
+        self._healthy[endpoint] = True
+
+    def deregister(self, endpoint: str) -> None:
+        self._endpoints.pop(endpoint, None)
+        self._healthy.pop(endpoint, None)
+
+    def set_health(self, endpoint: str, healthy: bool) -> None:
+        if endpoint not in self._endpoints:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        self._healthy[endpoint] = healthy
+
+    def endpoints(self) -> List[str]:
+        return list(self._endpoints)
+
+    def healthy_endpoints(self) -> List[str]:
+        return [name for name, ok in self._healthy.items() if ok]
+
+    def endpoint_region(self, endpoint: str) -> str:
+        return self._endpoints[endpoint]
+
+    # ------------------------------------------------------------------
+    def resolve(self, client_region: str) -> Optional[str]:
+        """Return the healthy endpoint with the lowest latency from the client."""
+        self.resolutions += 1
+        best: Optional[str] = None
+        best_latency = float("inf")
+        for endpoint, region in self._endpoints.items():
+            if not self._healthy[endpoint]:
+                continue
+            latency = self.topology.one_way(client_region, region)
+            if latency < best_latency:
+                best, best_latency = endpoint, latency
+        return best

@@ -1,0 +1,166 @@
+"""Cross-region network topology: regions and one-way latency matrix.
+
+The paper deploys clients, load balancers and replicas across three
+geographical regions (United States, Europe, Asia) on AWS, and its analysis
+(Fig. 2/3) uses finer-grained country/availability-zone traces.  The default
+topology here uses publicly documented AWS inter-region round-trip times:
+US<->EU ~ 75-90 ms, US<->Asia ~ 120-180 ms, EU<->Asia ~ 200 ms, intra-region
+~ 1-2 ms.  Latencies are expressed one-way in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["RegionInfo", "NetworkTopology", "default_topology", "wide_topology"]
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """Static metadata about a geographical region."""
+
+    name: str
+    #: Offset from UTC in hours, used by the diurnal workload generators.
+    utc_offset_hours: float
+    #: Whether the region falls under GDPR data-residency constraints (§7).
+    gdpr: bool = False
+    #: Continent label, used by Bedrock-style "same continent only" policies.
+    continent: str = "unknown"
+
+
+class NetworkTopology:
+    """One-way latency matrix between named regions.
+
+    Latency lookups are symmetric unless an asymmetric entry was installed
+    explicitly.  Unknown same-region pairs fall back to ``intra_region_latency``.
+    """
+
+    def __init__(
+        self,
+        regions: Iterable[RegionInfo],
+        latency_s: Mapping[Tuple[str, str], float],
+        *,
+        intra_region_latency_s: float = 0.001,
+    ) -> None:
+        self.regions: Dict[str, RegionInfo] = {r.name: r for r in regions}
+        self.intra_region_latency_s = intra_region_latency_s
+        self._latency: Dict[Tuple[str, str], float] = {}
+        for (src, dst), value in latency_s.items():
+            self.add_link(src, dst, value)
+
+    # ------------------------------------------------------------------
+    def add_region(self, region: RegionInfo) -> None:
+        self.regions[region.name] = region
+
+    def add_link(self, src: str, dst: str, one_way_s: float, *, symmetric: bool = True) -> None:
+        if one_way_s < 0:
+            raise ValueError("latency must be non-negative")
+        self._check_region(src)
+        self._check_region(dst)
+        self._latency[(src, dst)] = one_way_s
+        if symmetric:
+            self._latency.setdefault((dst, src), one_way_s)
+
+    def _check_region(self, name: str) -> None:
+        if name not in self.regions:
+            raise KeyError(f"unknown region {name!r}; known: {sorted(self.regions)}")
+
+    # ------------------------------------------------------------------
+    def region_names(self) -> List[str]:
+        return list(self.regions)
+
+    def info(self, name: str) -> RegionInfo:
+        self._check_region(name)
+        return self.regions[name]
+
+    def one_way(self, src: str, dst: str) -> float:
+        """One-way latency in seconds from ``src`` to ``dst``."""
+        self._check_region(src)
+        self._check_region(dst)
+        if src == dst:
+            return self.intra_region_latency_s
+        try:
+            return self._latency[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no latency entry for {src!r} -> {dst!r}") from None
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip time in seconds."""
+        return self.one_way(src, dst) + self.one_way(dst, src)
+
+    def nearest(self, src: str, candidates: Iterable[str]) -> Optional[str]:
+        """The candidate region with the lowest one-way latency from ``src``."""
+        best: Optional[str] = None
+        best_latency = float("inf")
+        for candidate in candidates:
+            latency = self.one_way(src, candidate)
+            if latency < best_latency:
+                best, best_latency = candidate, latency
+        return best
+
+    def same_continent(self, a: str, b: str) -> bool:
+        return self.info(a).continent == self.info(b).continent
+
+    def gdpr_compatible(self, src: str, dst: str) -> bool:
+        """True if data originating in ``src`` may be processed in ``dst``.
+
+        GDPR data may not leave GDPR scope; non-GDPR data may go anywhere
+        (§7: non-EU traffic can be offloaded to EU regions, not vice versa).
+        """
+        if not self.info(src).gdpr:
+            return True
+        return self.info(dst).gdpr
+
+
+def default_topology() -> NetworkTopology:
+    """The paper's three-region evaluation setup (US, Europe, Asia)."""
+    regions = [
+        RegionInfo("us", utc_offset_hours=-6, gdpr=False, continent="north-america"),
+        RegionInfo("eu", utc_offset_hours=+1, gdpr=True, continent="europe"),
+        RegionInfo("asia", utc_offset_hours=+8, gdpr=False, continent="asia"),
+    ]
+    latency = {
+        ("us", "eu"): 0.075,
+        ("us", "asia"): 0.090,
+        ("eu", "asia"): 0.100,
+    }
+    return NetworkTopology(regions, latency)
+
+
+def wide_topology() -> NetworkTopology:
+    """A finer-grained topology used by the diurnal/cost analyses (Fig. 2/3),
+    with one region per country/AZ the WildChat analysis references."""
+    regions = [
+        RegionInfo("us-east-1", -5, gdpr=False, continent="north-america"),
+        RegionInfo("us-east-2", -5, gdpr=False, continent="north-america"),
+        RegionInfo("us-west", -8, gdpr=False, continent="north-america"),
+        RegionInfo("eu-west", 0, gdpr=True, continent="europe"),
+        RegionInfo("eu-central", +1, gdpr=True, continent="europe"),
+        RegionInfo("ap-southeast", +8, gdpr=False, continent="asia"),
+        RegionInfo("ap-northeast", +9, gdpr=False, continent="asia"),
+    ]
+    base = {
+        ("us-east-1", "us-east-2"): 0.006,
+        ("us-east-1", "us-west"): 0.032,
+        ("us-east-2", "us-west"): 0.028,
+        ("us-east-1", "eu-west"): 0.038,
+        ("us-east-1", "eu-central"): 0.045,
+        ("us-east-2", "eu-west"): 0.042,
+        ("us-east-2", "eu-central"): 0.048,
+        ("us-west", "eu-west"): 0.065,
+        ("us-west", "eu-central"): 0.072,
+        ("eu-west", "eu-central"): 0.008,
+        ("us-east-1", "ap-southeast"): 0.105,
+        ("us-east-2", "ap-southeast"): 0.108,
+        ("us-west", "ap-southeast"): 0.085,
+        ("eu-west", "ap-southeast"): 0.088,
+        ("eu-central", "ap-southeast"): 0.092,
+        ("us-east-1", "ap-northeast"): 0.080,
+        ("us-east-2", "ap-northeast"): 0.082,
+        ("us-west", "ap-northeast"): 0.055,
+        ("eu-west", "ap-northeast"): 0.110,
+        ("eu-central", "ap-northeast"): 0.115,
+        ("ap-southeast", "ap-northeast"): 0.035,
+    }
+    return NetworkTopology(regions, base)

@@ -1,0 +1,35 @@
+"""Simulated LLM inference replica (SGLang/vLLM-style engine).
+
+The replica models the pieces of a real serving engine that load-balancing
+decisions depend on: continuous batching with a pending queue, paged KV
+memory with a radix prefix cache, and a calibrated latency profile for
+prefill and decode steps.
+"""
+
+from .batching import ContinuousBatcher, RunningSequence, StepPlan
+from .kv_cache import MatchResult, RadixCache, RadixNode
+from .memory import AdmissionGrant, KVMemoryManager
+from .model_profile import (
+    LLAMA_8B_A100,
+    LLAMA_8B_L4,
+    TINY_TEST_PROFILE,
+    ModelProfile,
+)
+from .server import ReplicaServer, ReplicaStats
+
+__all__ = [
+    "ContinuousBatcher",
+    "RunningSequence",
+    "StepPlan",
+    "RadixCache",
+    "RadixNode",
+    "MatchResult",
+    "KVMemoryManager",
+    "AdmissionGrant",
+    "ModelProfile",
+    "LLAMA_8B_L4",
+    "LLAMA_8B_A100",
+    "TINY_TEST_PROFILE",
+    "ReplicaServer",
+    "ReplicaStats",
+]

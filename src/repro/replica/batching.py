@@ -1,0 +1,253 @@
+"""Continuous batching scheduler state for one replica.
+
+This module contains the *policy* half of the replica (pure Python, no
+simulation events) so that admission, decode accounting and completion can
+be unit-tested deterministically.  The simulation-process half lives in
+:mod:`repro.replica.server`.
+
+Terminology follows the paper:
+
+* **pending request** -- a request the replica has received but has not yet
+  admitted into the continuous batch (blocked on KV memory or batch size).
+  The *existence* of pending requests is the signal SkyWalker's SP-P
+  selective pushing checks.
+* **outstanding requests** -- pending plus running requests, the quantity
+  SP-O style balancers bound with a fixed threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..workloads.request import Request, RequestStatus
+from .memory import KVMemoryManager
+from .model_profile import ModelProfile
+
+__all__ = ["RunningSequence", "StepPlan", "ContinuousBatcher"]
+
+
+@dataclass
+class RunningSequence:
+    """State of one request inside the continuous batch."""
+
+    request: Request
+    cached_tokens: int
+    new_prompt_tokens: int
+    generated: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.request.output_len - self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_len
+
+
+@dataclass
+class StepPlan:
+    """What the replica will execute next and how long it will take."""
+
+    kind: str                       # "prefill" | "decode" | "idle"
+    duration: float = 0.0
+    admitted: List[RunningSequence] = field(default_factory=list)
+
+
+class ContinuousBatcher:
+    """Admission + decode bookkeeping for a single replica."""
+
+    def __init__(self, profile: ModelProfile, *, enable_prefix_cache: bool = True) -> None:
+        self.profile = profile
+        self.memory = KVMemoryManager(profile, enable_prefix_cache=enable_prefix_cache)
+        self.waiting: Deque[Request] = deque()
+        self.running: List[RunningSequence] = []
+        self._by_id: Dict[int, RunningSequence] = {}
+        # Monotonic counters for metrics.
+        self.total_admitted = 0
+        self.total_finished = 0
+        self.total_prompt_tokens = 0
+        self.total_cached_tokens = 0
+        self.total_generated_tokens = 0
+        self.total_preemptions = 0
+        self.total_preempted_tokens = 0
+        #: Requests whose first admission has already been counted in the
+        #: prompt/cached token statistics (re-admissions after preemption
+        #: must not inflate the cache hit rate).
+        self._counted_requests: set = set()
+
+    # ------------------------------------------------------------------
+    # observable load signals (what probes read)
+    # ------------------------------------------------------------------
+    @property
+    def num_pending(self) -> int:
+        """Requests received but not yet in the continuous batch."""
+        return len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def num_outstanding(self) -> int:
+        return self.num_pending + self.num_running
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.memory.utilization
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Token-level prefix cache hit rate over all admitted requests."""
+        if self.total_prompt_tokens == 0:
+            return 0.0
+        return self.total_cached_tokens / self.total_prompt_tokens
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request, now: float) -> None:
+        """Accept a request from the network; it becomes *pending*."""
+        request.status = RequestStatus.PENDING_AT_REPLICA
+        request.replica_arrival_time = now
+        self.waiting.append(request)
+
+    def admit(self, now: float) -> List[RunningSequence]:
+        """Admit as many pending requests as memory and batch size allow.
+
+        Admission is FCFS (head-of-line blocking included) which matches how
+        SGLang/vLLM schedule their waiting queues and is what makes blind
+        pushing hurt: a large stuck request at the head keeps later, smaller
+        requests pending even if memory frees up elsewhere.
+        """
+        admitted: List[RunningSequence] = []
+        while self.waiting and len(self.running) < self.profile.max_batch_size:
+            request = self.waiting[0]
+            grant = self.memory.admit(request.request_id, request.prompt_tokens, now)
+            if grant is None:
+                break
+            self.waiting.popleft()
+            seq = RunningSequence(
+                request=request,
+                cached_tokens=grant.cached_tokens,
+                new_prompt_tokens=grant.new_prompt_tokens,
+            )
+            request.status = RequestStatus.RUNNING
+            request.schedule_time = now
+            request.cached_prefix_tokens = grant.cached_tokens
+            request.prefilled_tokens = grant.new_prompt_tokens
+            self.running.append(seq)
+            self._by_id[request.request_id] = seq
+            admitted.append(seq)
+            if request.request_id not in self._counted_requests:
+                self._counted_requests.add(request.request_id)
+                self.total_admitted += 1
+                self.total_prompt_tokens += request.prompt_len
+                self.total_cached_tokens += grant.cached_tokens
+        return admitted
+
+    # ------------------------------------------------------------------
+    def preempt_if_needed(self, now: float) -> List[RunningSequence]:
+        """Preempt recently admitted sequences when KV memory runs out.
+
+        Real engines (vLLM, SGLang) admit optimistically -- output lengths are
+        unknown -- and when the KV pool fills mid-decode they preempt the
+        newest sequences and recompute them later.  The preempted request goes
+        back to the head of the waiting queue and loses its generated tokens,
+        which is what makes sustained overload genuinely expensive.
+        """
+        preempted: List[RunningSequence] = []
+        while len(self.running) > 1 and self.memory.free_tokens < len(self.running):
+            victim = self.running[-1]
+            self.running.pop()
+            del self._by_id[victim.request.request_id]
+            self.memory.release(victim.request.request_id, now)
+            self.total_preemptions += 1
+            self.total_preempted_tokens += victim.generated
+            victim.request.generated_tokens = 0
+            victim.request.status = RequestStatus.PENDING_AT_REPLICA
+            self.waiting.appendleft(victim.request)
+            preempted.append(victim)
+        return preempted
+
+    def plan_step(self, now: float) -> StepPlan:
+        """Decide what to execute next (prefill new admissions, else decode)."""
+        self.preempt_if_needed(now)
+        admitted = self.admit(now)
+        if admitted:
+            new_tokens = sum(seq.new_prompt_tokens for seq in admitted)
+            return StepPlan(
+                kind="prefill",
+                duration=self.profile.prefill_time(new_tokens),
+                admitted=admitted,
+            )
+        if self.running:
+            context = sum(
+                self.memory.context_tokens(seq.request.request_id) for seq in self.running
+            )
+            return StepPlan(
+                kind="decode",
+                duration=self.profile.decode_step_time(len(self.running), context),
+            )
+        return StepPlan(kind="idle")
+
+    def complete_prefill(self, admitted: List[RunningSequence], now: float) -> List[Request]:
+        """Record the first token of freshly prefilled sequences.
+
+        Returns requests that finished immediately (``output_len == 1``).
+        """
+        finished: List[Request] = []
+        for seq in admitted:
+            seq.generated = 1
+            self.memory.add_output_token(seq.request.request_id)
+            seq.request.generated_tokens = 1
+            if seq.request.first_token_time is None:
+                seq.request.first_token_time = now
+            self.total_generated_tokens += 1
+            if seq.done:
+                finished.append(self._finish(seq, now))
+        return finished
+
+    def complete_decode_step(self, now: float) -> List[Request]:
+        """Every running sequence gains one token; return those that finished."""
+        finished: List[Request] = []
+        for seq in list(self.running):
+            seq.generated += 1
+            seq.request.generated_tokens = seq.generated
+            self.memory.add_output_token(seq.request.request_id)
+            self.total_generated_tokens += 1
+            if seq.request.first_token_time is None:
+                seq.request.first_token_time = now
+            if seq.done:
+                finished.append(self._finish(seq, now))
+        return finished
+
+    def _finish(self, seq: RunningSequence, now: float) -> Request:
+        request = seq.request
+        request.status = RequestStatus.FINISHED
+        request.finish_time = now
+        self.running.remove(seq)
+        del self._by_id[request.request_id]
+        # Multi-turn conversations resend the whole history, so caching the
+        # prompt (already in the tree) is what matters; we do not re-insert
+        # output tokens because the synthetic workloads append fresh token
+        # ids per turn for the assistant reply.
+        self.memory.release(request.request_id, now)
+        self._counted_requests.discard(request.request_id)
+        self.total_finished += 1
+        return request
+
+    def abort_all(self, now: float) -> List[Request]:
+        """Fail every pending and running request (replica crash)."""
+        aborted: List[Request] = []
+        for seq in list(self.running):
+            request = seq.request
+            request.status = RequestStatus.FAILED
+            self.running.remove(seq)
+            del self._by_id[request.request_id]
+            self.memory.release(request.request_id, now)
+            aborted.append(request)
+        while self.waiting:
+            request = self.waiting.popleft()
+            request.status = RequestStatus.FAILED
+            aborted.append(request)
+        return aborted

@@ -1,0 +1,325 @@
+"""Radix-tree KV prefix cache, modelled after SGLang's RadixAttention cache.
+
+The cache stores token sequences in a compressed radix tree.  Each edge is a
+run of tokens; the number of tokens stored in the tree is the cache's memory
+footprint.  Running requests *lock* the nodes on their prompt path so the
+evictor can never free memory that an in-flight sequence still needs.
+
+The simulator uses the cache for two purposes:
+
+* inside a replica, to decide how many prompt tokens of a new request are
+  already resident (prefix hit -> shorter prefill), and
+* inside SkyWalker's load balancer, where the same data structure (without
+  memory accounting) tracks which *targets* have seen which prefixes
+  (:mod:`repro.core.prefix_tree` builds on the node layout defined here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["RadixNode", "RadixCache", "MatchResult"]
+
+
+class RadixNode:
+    """One node of the radix tree.
+
+    ``key`` is the token run on the edge from ``parent`` to this node.  The
+    root has an empty key and no parent.
+    """
+
+    __slots__ = ("key", "parent", "children", "last_access", "lock_count")
+
+    def __init__(
+        self,
+        key: Tuple[int, ...] = (),
+        parent: Optional["RadixNode"] = None,
+    ) -> None:
+        self.key = key
+        self.parent = parent
+        self.children: Dict[int, "RadixNode"] = {}
+        self.last_access = 0.0
+        self.lock_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tokens(self) -> int:
+        """Number of tokens stored on the edge leading to this node."""
+        return len(self.key)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def path_tokens(self) -> Tuple[int, ...]:
+        """Full token sequence from the root to this node."""
+        parts: List[Tuple[int, ...]] = []
+        node: Optional[RadixNode] = self
+        while node is not None and not node.is_root:
+            parts.append(node.key)
+            node = node.parent
+        return tuple(tok for part in reversed(parts) for tok in part)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<RadixNode len={len(self.key)} children={len(self.children)} locks={self.lock_count}>"
+
+
+@dataclass
+class MatchResult:
+    """Result of a prefix lookup."""
+
+    #: Number of prompt tokens found in the cache.
+    matched_tokens: int
+    #: Nodes whose full edge is covered by the match, root-excluded, in
+    #: root-to-leaf order.  Locking these pins the matched prefix in memory.
+    nodes: List[RadixNode] = field(default_factory=list)
+
+    @property
+    def last_node(self) -> Optional[RadixNode]:
+        return self.nodes[-1] if self.nodes else None
+
+
+def _common_prefix_len(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common prefix of two token runs."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class RadixCache:
+    """A size-bounded radix tree over token sequences with LRU eviction.
+
+    Parameters
+    ----------
+    capacity_tokens:
+        Maximum number of tokens the tree may hold.  ``insert`` never grows
+        the tree beyond this; callers evict first (see
+        :meth:`evict`) or accept partial insertion.
+    """
+
+    def __init__(self, capacity_tokens: float = float("inf")) -> None:
+        if capacity_tokens <= 0:
+            raise ValueError("capacity_tokens must be positive")
+        self.capacity_tokens = capacity_tokens
+        self.root = RadixNode()
+        self._total_tokens = 0
+        # Monotonic counters for cache-hit statistics.
+        self.lookup_tokens = 0
+        self.hit_tokens = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens(self) -> int:
+        """Number of tokens currently stored in the tree."""
+        return self._total_tokens
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime token-level cache hit rate of ``match_prefix`` calls."""
+        if self.lookup_tokens == 0:
+            return 0.0
+        return self.hit_tokens / self.lookup_tokens
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def match_prefix(self, tokens: Sequence[int], now: float = 0.0, *, record: bool = True) -> MatchResult:
+        """Return the longest cached prefix of ``tokens``.
+
+        A partial match of an edge does not count: only whole edges are
+        returned in ``nodes`` (matching SGLang, where a partially matched
+        block is split on insert, not on lookup).  ``matched_tokens`` however
+        reports the exact token-level overlap, which is what determines how
+        much prefill compute is saved.
+        """
+        node = self.root
+        matched = 0
+        nodes: List[RadixNode] = []
+        idx = 0
+        n = len(tokens)
+        while idx < n:
+            child = node.children.get(tokens[idx])
+            if child is None:
+                break
+            overlap = _common_prefix_len(child.key, tokens[idx:])
+            if overlap == 0:
+                break
+            matched += overlap
+            idx += overlap
+            child.last_access = now
+            if overlap == len(child.key):
+                nodes.append(child)
+                node = child
+            else:
+                # Partial edge match: stop here (the caller may insert to
+                # split the edge).
+                break
+        if record:
+            self.lookup_tokens += n
+            self.hit_tokens += matched
+        return MatchResult(matched_tokens=matched, nodes=nodes)
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, tokens: Sequence[int], now: float = 0.0) -> int:
+        """Insert ``tokens`` into the tree, returning the tokens newly added.
+
+        The insert is capacity-aware: if adding the suffix would exceed
+        ``capacity_tokens`` the caller is expected to have evicted first;
+        whatever does not fit is silently truncated (the cache holds a
+        prefix of the sequence, which is always semantically valid).
+        """
+        tokens = tuple(tokens)
+        node = self.root
+        idx = 0
+        added = 0
+        n = len(tokens)
+        while idx < n:
+            child = node.children.get(tokens[idx])
+            if child is None:
+                remaining_capacity = self.capacity_tokens - self._total_tokens
+                if remaining_capacity <= 0:
+                    break
+                take = int(min(n - idx, remaining_capacity))
+                new_node = RadixNode(key=tokens[idx : idx + take], parent=node)
+                new_node.last_access = now
+                node.children[tokens[idx]] = new_node
+                self._total_tokens += take
+                added += take
+                break
+            overlap = _common_prefix_len(child.key, tokens[idx:])
+            child.last_access = now
+            if overlap == len(child.key):
+                node = child
+                idx += overlap
+                continue
+            # Split the edge at the divergence point.
+            upper = self._split(child, overlap)
+            node = upper
+            idx += overlap
+        return added
+
+    def _split(self, node: RadixNode, offset: int) -> RadixNode:
+        """Split ``node``'s edge so that its first ``offset`` tokens become a
+        new parent node.  ``node`` keeps its identity as the *lower* half so
+        that lock references held by running requests (which always cover the
+        full original edge) keep protecting the whole path when they unlock.
+        Returns the newly created upper node.
+        """
+        if not 0 < offset < len(node.key):
+            raise ValueError("split offset must be strictly inside the edge")
+        parent = node.parent
+        assert parent is not None
+        upper = RadixNode(key=node.key[:offset], parent=parent)
+        upper.last_access = node.last_access
+        # The lower half's lock holders all cover the upper half too.
+        upper.lock_count = node.lock_count
+        parent.children[upper.key[0]] = upper
+        node.key = node.key[offset:]
+        node.parent = upper
+        upper.children = {node.key[0]: node}
+        return upper
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def lock(self, node: Optional[RadixNode]) -> None:
+        """Pin ``node`` and all of its ancestors (a running request's prefix)."""
+        while node is not None and not node.is_root:
+            node.lock_count += 1
+            node = node.parent
+
+    def unlock(self, node: Optional[RadixNode]) -> None:
+        """Release a previous :meth:`lock` on ``node``'s path."""
+        while node is not None and not node.is_root:
+            if node.lock_count <= 0:
+                raise RuntimeError("unlock without matching lock")
+            node.lock_count -= 1
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def evictable_tokens(self) -> int:
+        """Tokens stored on unlocked leaf-reachable edges (free-able memory)."""
+        total = 0
+        for node in self._iter_nodes():
+            if node.lock_count == 0 and not node.is_root:
+                total += node.num_tokens
+        return total
+
+    def evict(self, num_tokens: int, now: float = 0.0) -> int:
+        """Evict at least ``num_tokens`` tokens if possible, LRU-leaf first.
+
+        Returns the number of tokens actually evicted.  Locked nodes are
+        never evicted.
+        """
+        evicted = 0
+        while evicted < num_tokens:
+            victim = self._lru_unlocked_leaf()
+            if victim is None:
+                break
+            evicted += self._remove_leaf(victim)
+        return evicted
+
+    def _lru_unlocked_leaf(self) -> Optional[RadixNode]:
+        best: Optional[RadixNode] = None
+        for node in self._iter_nodes():
+            if node.is_root or node.children or node.lock_count > 0:
+                continue
+            if best is None or node.last_access < best.last_access:
+                best = node
+        return best
+
+    def _remove_leaf(self, node: RadixNode) -> int:
+        assert node.parent is not None and not node.children
+        parent = node.parent
+        del parent.children[node.key[0]]
+        self._total_tokens -= node.num_tokens
+        return node.num_tokens
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every unlocked entry (used by failure-recovery tests)."""
+        self.evict(self._total_tokens)
+
+    def _iter_nodes(self) -> Iterable[RadixNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants (used heavily by property tests)."""
+        seen_tokens = 0
+        for node in self._iter_nodes():
+            if node.is_root:
+                if node.key != ():
+                    raise AssertionError("root must have an empty key")
+                continue
+            if not node.key:
+                raise AssertionError("non-root node with empty key")
+            seen_tokens += node.num_tokens
+            first = node.key[0]
+            if node.parent.children.get(first) is not node:
+                raise AssertionError("child index out of sync with key")
+            # Sibling edges must not share a first token (radix property).
+            siblings = [c for c in node.parent.children.values() if c is not node]
+            for sibling in siblings:
+                if sibling.key[0] == node.key[0]:
+                    raise AssertionError("two sibling edges share a first token")
+        if seen_tokens != self._total_tokens:
+            raise AssertionError(
+                f"token accounting mismatch: counted {seen_tokens}, recorded {self._total_tokens}"
+            )
+        if self._total_tokens > self.capacity_tokens:
+            raise AssertionError("cache exceeded its capacity")

@@ -1,0 +1,199 @@
+"""KV-memory accounting for a single replica.
+
+The GPU's KV budget (in tokens, derived from the
+:class:`~repro.replica.model_profile.ModelProfile`) is shared between
+
+* the radix prefix cache (prompt tokens of past and running requests), and
+* the *output* tokens of currently running requests, which live outside the
+  tree until the request finishes (at which point the full sequence may be
+  re-inserted as a reusable prefix).
+
+The manager only hands out admission grants when the uncached part of the
+prompt plus an output reserve fits after evicting unlocked cache entries --
+this is the quantity that determines how many requests a replica can batch
+concurrently, and therefore what "pending requests" means for selective
+pushing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from .kv_cache import RadixCache, RadixNode
+from .model_profile import ModelProfile
+
+__all__ = ["AdmissionGrant", "KVMemoryManager"]
+
+
+@dataclass
+class AdmissionGrant:
+    """Everything the batcher needs to know about an admitted request."""
+
+    request_id: int
+    cached_tokens: int
+    new_prompt_tokens: int
+    locked_node: Optional[RadixNode]
+    output_tokens: int = 0
+
+
+class KVMemoryManager:
+    """Token-granularity KV memory accounting for one replica."""
+
+    def __init__(self, profile: ModelProfile, enable_prefix_cache: bool = True) -> None:
+        self.profile = profile
+        self.capacity_tokens = profile.kv_capacity_tokens
+        self.enable_prefix_cache = enable_prefix_cache
+        self.cache = RadixCache(capacity_tokens=self.capacity_tokens)
+        #: Output tokens held by running requests, outside the radix tree.
+        self._grants: Dict[int, AdmissionGrant] = {}
+        #: Prompt tokens of running requests that could not be inserted into
+        #: the cache (prefix caching disabled, or capacity truncated); they
+        #: still occupy KV memory.
+        self._uncached_prompt_tokens: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def output_tokens_in_use(self) -> int:
+        return sum(grant.output_tokens for grant in self._grants.values())
+
+    @property
+    def used_tokens(self) -> int:
+        """Tokens currently occupying KV memory."""
+        return (
+            self.cache.total_tokens
+            + self.output_tokens_in_use
+            + sum(self._uncached_prompt_tokens.values())
+        )
+
+    @property
+    def free_tokens(self) -> int:
+        return max(0, self.capacity_tokens - self.used_tokens)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the KV budget in use (the paper's Fig. 4b metric)."""
+        if self.capacity_tokens == 0:
+            return 0.0
+        return self.used_tokens / self.capacity_tokens
+
+    @property
+    def num_running(self) -> int:
+        return len(self._grants)
+
+    # ------------------------------------------------------------------
+    def can_admit(self, prompt_tokens: Sequence[int]) -> bool:
+        """Would a request with this prompt fit right now (after eviction)?"""
+        cached = 0
+        if self.enable_prefix_cache:
+            cached = self.cache.match_prefix(prompt_tokens, record=False).matched_tokens
+        needed = (len(prompt_tokens) - cached) + self.profile.admission_output_reserve
+        return needed <= self.free_tokens + self.cache.evictable_tokens()
+
+    def admit(self, request_id: int, prompt_tokens: Sequence[int], now: float) -> Optional[AdmissionGrant]:
+        """Try to admit a request; returns a grant or ``None`` if it does not fit."""
+        if request_id in self._grants:
+            raise ValueError(f"request {request_id} is already admitted")
+        reserve = self.profile.admission_output_reserve
+
+        if not self.enable_prefix_cache:
+            needed = len(prompt_tokens) + reserve
+            if needed > self.free_tokens + self.cache.evictable_tokens():
+                return None
+            self.cache.evict(max(0, needed - self.free_tokens), now=now)
+            if needed > self.free_tokens:
+                return None
+            grant = AdmissionGrant(
+                request_id=request_id,
+                cached_tokens=0,
+                new_prompt_tokens=len(prompt_tokens),
+                locked_node=None,
+            )
+            self._grants[request_id] = grant
+            self._uncached_prompt_tokens[request_id] = len(prompt_tokens)
+            return grant
+
+        match = self.cache.match_prefix(prompt_tokens, now=now)
+        cached = match.matched_tokens
+        new_prompt = len(prompt_tokens) - cached
+        needed = new_prompt + reserve
+        if needed > self.free_tokens + self.cache.evictable_tokens():
+            return None
+        # Pin the matched prefix before evicting so it cannot be a victim.
+        if match.last_node is not None:
+            self.cache.lock(match.last_node)
+        shortfall = needed - self.free_tokens
+        if shortfall > 0:
+            self.cache.evict(shortfall, now=now)
+        if needed > self.free_tokens:
+            if match.last_node is not None:
+                self.cache.unlock(match.last_node)
+            return None
+
+        # Insert the full prompt into the tree and lock the deepest node so
+        # the whole prompt stays resident while the request runs.
+        self.cache.insert(prompt_tokens, now=now)
+        full_match = self.cache.match_prefix(prompt_tokens, now=now, record=False)
+        uninserted = len(prompt_tokens) - full_match.matched_tokens
+        if full_match.last_node is not None:
+            self.cache.lock(full_match.last_node)
+        if match.last_node is not None:
+            self.cache.unlock(match.last_node)
+
+        grant = AdmissionGrant(
+            request_id=request_id,
+            cached_tokens=cached,
+            new_prompt_tokens=new_prompt,
+            locked_node=full_match.last_node,
+        )
+        self._grants[request_id] = grant
+        if uninserted > 0:
+            # Capacity-truncated tail of the prompt still occupies KV memory
+            # for the lifetime of the request, it is just not reusable.
+            self._uncached_prompt_tokens[request_id] = uninserted
+        return grant
+
+    # ------------------------------------------------------------------
+    def add_output_token(self, request_id: int, count: int = 1) -> None:
+        """Account for ``count`` newly generated tokens of a running request."""
+        grant = self._grants.get(request_id)
+        if grant is None:
+            raise KeyError(f"request {request_id} is not running")
+        grant.output_tokens += count
+
+    def context_tokens(self, request_id: int) -> int:
+        """Prompt + generated tokens currently attended to by a request."""
+        grant = self._grants[request_id]
+        prompt = grant.cached_tokens + grant.new_prompt_tokens
+        return prompt + grant.output_tokens
+
+    def release(self, request_id: int, now: float, *, cache_output: bool = False,
+                full_sequence: Optional[Sequence[int]] = None) -> None:
+        """Release a finished (or failed) request's memory.
+
+        The prompt prefix stays in the radix cache (unlocked, evictable);
+        output tokens are dropped unless ``cache_output`` is set and the full
+        sequence is provided, in which case they are inserted as a reusable
+        prefix (multi-turn conversations benefit from this, mirroring SGLang).
+        """
+        grant = self._grants.pop(request_id, None)
+        if grant is None:
+            raise KeyError(f"request {request_id} is not running")
+        self._uncached_prompt_tokens.pop(request_id, None)
+        if grant.locked_node is not None:
+            self.cache.unlock(grant.locked_node)
+        if cache_output and full_sequence is not None and self.enable_prefix_cache:
+            free_budget = self.capacity_tokens - self.cache.total_tokens
+            extra = len(full_sequence) - self.cache.match_prefix(
+                full_sequence, record=False
+            ).matched_tokens
+            if extra <= free_budget:
+                self.cache.insert(full_sequence, now=now)
+
+    def check_invariants(self) -> None:
+        """Structural sanity checks used by the property-based tests."""
+        self.cache.check_invariants()
+        if self.used_tokens > self.capacity_tokens:
+            raise AssertionError("KV memory over capacity")
+        if self.output_tokens_in_use < 0:
+            raise AssertionError("negative output token accounting")

@@ -1,0 +1,221 @@
+"""The replica server: a simulated SGLang/vLLM-style inference engine.
+
+A :class:`ReplicaServer` is a simulation process that consumes requests from
+its inbox, runs them through a :class:`ContinuousBatcher`, and notifies
+listeners when first tokens and completions happen.  Load balancers never
+call into the batcher directly -- they observe the replica the same way the
+real system does, through the probe properties (``num_pending``,
+``num_outstanding``, ...) exposed here and accessed via the network layer
+with realistic probe latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..sim import Environment, Interrupt, Store
+from ..workloads.request import Request, RequestStatus
+from .batching import ContinuousBatcher
+from .model_profile import LLAMA_8B_L4, ModelProfile
+
+__all__ = ["ReplicaServer", "ReplicaStats"]
+
+RequestCallback = Callable[[Request], None]
+
+
+class ReplicaStats:
+    """Aggregated, monotonic counters for one replica."""
+
+    def __init__(self) -> None:
+        self.busy_time = 0.0
+        self.prefill_time = 0.0
+        self.decode_time = 0.0
+        self.steps = 0
+        self.utilization_samples: List[Tuple[float, float]] = []
+
+    def record_step(self, kind: str, duration: float) -> None:
+        self.busy_time += duration
+        self.steps += 1
+        if kind == "prefill":
+            self.prefill_time += duration
+        else:
+            self.decode_time += duration
+
+
+class ReplicaServer:
+    """One model replica in one region.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    name:
+        Unique replica name, e.g. ``"us/replica-0"``.
+    region:
+        Region the replica is deployed in.
+    profile:
+        Latency/memory model; defaults to Llama-3.1-8B on an L4, the paper's
+        configuration.
+    enable_prefix_cache:
+        Disable to model a replica without RadixAttention-style caching.
+    record_utilization:
+        When set, the replica appends ``(time, kv_utilization)`` samples after
+        every step; used to reproduce the paper's Fig. 4b.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        profile: ModelProfile = LLAMA_8B_L4,
+        *,
+        enable_prefix_cache: bool = True,
+        record_utilization: bool = False,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.region = region
+        self.profile = profile
+        self.batcher = ContinuousBatcher(profile, enable_prefix_cache=enable_prefix_cache)
+        self.inbox: Store = Store(env)
+        self.stats = ReplicaStats()
+        self.record_utilization = record_utilization
+        self.healthy = True
+        self._on_first_token: List[RequestCallback] = []
+        self._on_complete: List[RequestCallback] = []
+        self._process = env.process(self._run())
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def add_completion_listener(self, callback: RequestCallback) -> None:
+        """Register a callback invoked (with the request) on completion."""
+        self._on_complete.append(callback)
+
+    def add_first_token_listener(self, callback: RequestCallback) -> None:
+        """Register a callback invoked when a request emits its first token."""
+        self._on_first_token.append(callback)
+
+    def submit(self, request: Request):
+        """Hand a request to the replica (returns the store-put event)."""
+        if not self.healthy:
+            raise RuntimeError(f"replica {self.name} is down")
+        return self.inbox.put(request)
+
+    def fail(self) -> List[Request]:
+        """Crash the replica: abort all work and stop the serving loop."""
+        if not self.healthy:
+            return []
+        self.healthy = False
+        aborted = self.batcher.abort_all(self.env.now)
+        while self.inbox.items:
+            request = self.inbox.items.popleft()
+            request.status = RequestStatus.FAILED
+            aborted.append(request)
+        if self._process.is_alive:
+            self._process.interrupt("replica-failure")
+        return aborted
+
+    def recover(self) -> None:
+        """Bring a failed replica back with a cold cache."""
+        if self.healthy:
+            return
+        self.healthy = True
+        self.batcher = ContinuousBatcher(
+            self.profile,
+            enable_prefix_cache=self.batcher.memory.enable_prefix_cache,
+        )
+        # A fresh inbox: the crashed serving loop may have left an orphaned
+        # get() registered on the old store, which would silently swallow the
+        # first request delivered after recovery.
+        self.inbox = Store(self.env)
+        self._process = self.env.process(self._run())
+
+    # ------------------------------------------------------------------
+    # probe interface (observable load signals)
+    # ------------------------------------------------------------------
+    @property
+    def num_pending(self) -> int:
+        """Requests not yet scheduled into the continuous batch (§3.3)."""
+        return self.batcher.num_pending + len(self.inbox.items)
+
+    @property
+    def num_running(self) -> int:
+        return self.batcher.num_running
+
+    @property
+    def num_outstanding(self) -> int:
+        return self.batcher.num_outstanding + len(self.inbox.items)
+
+    @property
+    def memory_utilization(self) -> float:
+        return self.batcher.memory_utilization
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.batcher.cache_hit_rate
+
+    @property
+    def has_capacity(self) -> bool:
+        """SP-P availability signal: no pending request means "not full"."""
+        return self.healthy and self.num_pending == 0
+
+    # ------------------------------------------------------------------
+    # serving loop
+    # ------------------------------------------------------------------
+    def _drain_inbox(self) -> None:
+        while self.inbox.items:
+            request = self.inbox.items.popleft()
+            self.batcher.enqueue(request, self.env.now)
+
+    def _emit_first_tokens(self, requests: List[Request]) -> None:
+        for request in requests:
+            for callback in self._on_first_token:
+                callback(request)
+
+    def _emit_completions(self, requests: List[Request]) -> None:
+        for request in requests:
+            request.replica_name = self.name
+            request.serving_region = self.region
+            for callback in self._on_complete:
+                callback(request)
+
+    def _run(self):
+        env = self.env
+        try:
+            while True:
+                self._drain_inbox()
+                plan = self.batcher.plan_step(env.now)
+                if plan.kind == "idle":
+                    request = yield self.inbox.get()
+                    self.batcher.enqueue(request, env.now)
+                    continue
+                yield env.timeout(plan.duration)
+                self.stats.record_step(plan.kind, plan.duration)
+                if plan.kind == "prefill":
+                    newly_running = [seq.request for seq in plan.admitted]
+                    finished = self.batcher.complete_prefill(plan.admitted, env.now)
+                    self._emit_first_tokens(newly_running)
+                else:
+                    finished = self.batcher.complete_decode_step(env.now)
+                    just_got_first = [
+                        r for r in finished if r.generated_tokens == 1
+                    ]
+                    self._emit_first_tokens(just_got_first)
+                if finished:
+                    self._emit_completions(finished)
+                if self.record_utilization:
+                    self.stats.utilization_samples.append(
+                        (env.now, self.memory_utilization)
+                    )
+        except Interrupt:
+            # Replica failure: simply stop serving.  ``fail`` already aborted
+            # outstanding work.
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<ReplicaServer {self.name} region={self.region} "
+            f"pending={self.num_pending} running={self.num_running}>"
+        )

@@ -1,0 +1,159 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the simulation clock and the event queue.  Times
+are floats in **seconds** throughout this project; the unit matters because
+the replica model profiles and network latency matrices are calibrated in
+seconds as well.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule"]
+
+#: Priority for events scheduled "urgently" (e.g. interrupts) so they run
+#: before normal events scheduled at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock, in seconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Insert ``event`` into the queue ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises
+        ------
+        EmptySchedule
+            If the queue is empty.
+        """
+        try:
+            when, _priority, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # An event may legitimately end up in the queue twice (e.g. a
+            # process interrupted while its target also fires).  The second
+            # pop is a no-op.
+            return
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until the clock reaches that time) or an :class:`Event` (run
+        until the event is processed, returning its value).
+        """
+        if until is None:
+            stop_event: Optional[Event] = None
+            stop_time = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_time = float("inf")
+            if stop_event.processed:
+                return stop_event.value
+        else:
+            stop_event = None
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} lies in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise RuntimeError(
+                "run() finished but the awaited event never triggered"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

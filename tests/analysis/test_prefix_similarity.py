@@ -1,0 +1,89 @@
+"""Unit tests for the prefix-similarity analysis (Fig. 5)."""
+
+import pytest
+
+from repro.analysis import analyze_similarity, prefix_similarity, user_similarity_heatmap
+from repro.workloads import ConversationConfig, ConversationWorkload
+
+from ..conftest import make_request
+
+
+# ----------------------------------------------------------------------
+# the similarity metric itself (footnote 1 of the paper)
+# ----------------------------------------------------------------------
+def test_identical_sequences_have_similarity_one():
+    assert prefix_similarity((1, 2, 3), (1, 2, 3)) == 1.0
+
+
+def test_prefix_of_longer_sequence_has_similarity_one():
+    assert prefix_similarity((1, 2), (1, 2, 3, 4)) == 1.0
+    assert prefix_similarity((1, 2, 3, 4), (1, 2)) == 1.0
+
+
+def test_disjoint_sequences_have_similarity_zero():
+    assert prefix_similarity((1, 2, 3), (4, 5, 6)) == 0.0
+
+
+def test_partial_overlap_normalised_by_shorter_length():
+    assert prefix_similarity((1, 2, 3, 4), (1, 2, 9, 9, 9, 9)) == pytest.approx(0.5)
+
+
+def test_empty_sequences_similarity_zero():
+    assert prefix_similarity((), (1, 2)) == 0.0
+
+
+# ----------------------------------------------------------------------
+# trace-level analysis
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def conversation_requests():
+    config = ConversationConfig(
+        regions=("us", "eu"),
+        users_per_region=6,
+        conversations_per_user=2,
+        turns_range=(2, 4),
+        shared_templates=3,
+        template_adoption=0.4,
+        seed=13,
+    )
+    return [
+        request
+        for program in ConversationWorkload(config).generate_programs()
+        for request in program.all_requests()
+    ]
+
+
+def test_within_user_similarity_dominates(conversation_requests):
+    report = analyze_similarity(conversation_requests, seed=2)
+    assert report.within_user > report.across_user >= 0.0
+    assert report.within_region >= report.across_region
+    assert report.user_affinity_ratio > 1.5
+    data = report.to_dict()
+    assert set(data) == {
+        "within_user", "across_user", "within_region", "across_region", "user_affinity_ratio",
+    }
+
+
+def test_similarity_of_unrelated_users_is_zero():
+    requests = [make_request(prompt_len=50, user_id=f"user-{i}") for i in range(10)]
+    report = analyze_similarity(requests, seed=0)
+    assert report.across_user == 0.0
+    assert report.within_user == 0.0  # one request per user -> no pairs
+
+
+def test_heatmap_shape_and_diagonal_dominance(conversation_requests):
+    users, matrix = user_similarity_heatmap(conversation_requests, num_users=8, seed=4)
+    assert len(users) == 8
+    assert len(matrix) == 8 and all(len(row) == 8 for row in matrix)
+    diagonal = [matrix[i][i] for i in range(len(users))]
+    off_diagonal = [
+        matrix[i][j] for i in range(len(users)) for j in range(len(users)) if i != j
+    ]
+    assert sum(diagonal) / len(diagonal) > sum(off_diagonal) / len(off_diagonal)
+    assert all(0.0 <= value <= 1.0 for row in matrix for value in row)
+
+
+def test_heatmap_subsamples_users(conversation_requests):
+    users, matrix = user_similarity_heatmap(conversation_requests, num_users=5, seed=4)
+    assert len(users) == 5
+    assert len(matrix) == 5

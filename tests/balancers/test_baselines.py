@@ -1,0 +1,177 @@
+"""Unit tests for the baseline balancers' selection policies."""
+
+import pytest
+
+from repro.balancers import (
+    ConsistentHashBalancer,
+    GatewayBalancer,
+    LeastLoadBalancer,
+    RoundRobinBalancer,
+    SGLangRouterBalancer,
+)
+from repro.network import Network, default_topology
+
+from ..conftest import make_request
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, default_topology(), jitter_fraction=0.0)
+
+
+def _with_replicas(balancer, make_tiny_replica, count=3, region="us"):
+    replicas = [make_tiny_replica(region) for _ in range(count)]
+    for replica in replicas:
+        balancer.add_replica(replica)
+    return replicas
+
+
+# ----------------------------------------------------------------------
+# Round Robin
+# ----------------------------------------------------------------------
+def test_round_robin_cycles_through_replicas(env, net, make_tiny_replica):
+    balancer = RoundRobinBalancer(env, "rr", "us", net)
+    replicas = _with_replicas(balancer, make_tiny_replica)
+    chosen = [balancer.select_replica(make_request(), replicas) for _ in range(6)]
+    assert chosen == replicas * 2
+
+
+# ----------------------------------------------------------------------
+# Least Load
+# ----------------------------------------------------------------------
+def test_least_load_picks_minimum_outstanding(env, net, make_tiny_replica):
+    balancer = LeastLoadBalancer(env, "ll", "us", net)
+    replicas = _with_replicas(balancer, make_tiny_replica)
+    balancer.outstanding[replicas[0].name] = 5
+    balancer.outstanding[replicas[1].name] = 1
+    balancer.outstanding[replicas[2].name] = 3
+    assert balancer.select_replica(make_request(), replicas) is replicas[1]
+
+
+def test_least_load_counts_are_maintained_by_dispatch_and_completion(env, net, make_tiny_replica):
+    balancer = LeastLoadBalancer(env, "ll", "us", net)
+    replicas = _with_replicas(balancer, make_tiny_replica, count=2)
+    request = make_request(region="us")
+    balancer._dispatch(request, replicas[0])
+    assert balancer.outstanding[replicas[0].name] == 1
+    balancer._on_replica_complete(request)
+    assert balancer.outstanding[replicas[0].name] == 0
+
+
+# ----------------------------------------------------------------------
+# Consistent Hashing
+# ----------------------------------------------------------------------
+def test_consistent_hash_is_sticky_per_key(env, net, make_tiny_replica):
+    balancer = ConsistentHashBalancer(
+        env, "ch", "us", net, hash_key_fn=lambda r: r.user_id
+    )
+    replicas = _with_replicas(balancer, make_tiny_replica, count=4)
+    picks = {
+        balancer.select_replica(make_request(user_id="alice"), replicas).name
+        for _ in range(10)
+    }
+    assert len(picks) == 1
+
+
+def test_consistent_hash_spreads_different_keys(env, net, make_tiny_replica):
+    balancer = ConsistentHashBalancer(
+        env, "ch", "us", net, hash_key_fn=lambda r: r.user_id
+    )
+    replicas = _with_replicas(balancer, make_tiny_replica, count=4)
+    picks = {
+        balancer.select_replica(make_request(user_id=f"user-{i}"), replicas).name
+        for i in range(60)
+    }
+    assert len(picks) >= 3
+
+
+# ----------------------------------------------------------------------
+# SGLang Router
+# ----------------------------------------------------------------------
+def test_sglang_router_prefers_cache_affinity(env, net, make_tiny_replica):
+    balancer = SGLangRouterBalancer(env, "sgl", "us", net)
+    replicas = _with_replicas(balancer, make_tiny_replica, count=3)
+    shared = tuple(range(50_000, 50_200))
+    first = balancer.select_replica(make_request(prompt_len=220, prefix=shared), replicas)
+    for _ in range(4):
+        again = balancer.select_replica(make_request(prompt_len=220, prefix=shared), replicas)
+        assert again is first
+
+
+def test_sglang_router_falls_back_to_shortest_queue_when_imbalanced(env, net, make_tiny_replica):
+    balancer = SGLangRouterBalancer(
+        env, "sgl", "us", net, balance_abs_threshold=4, balance_rel_threshold=1.5
+    )
+    replicas = _with_replicas(balancer, make_tiny_replica, count=2)
+    shared = tuple(range(60_000, 60_200))
+    favourite = balancer.select_replica(make_request(prompt_len=220, prefix=shared), replicas)
+    # Overload the favourite replica far beyond the imbalance thresholds.
+    balancer.outstanding[favourite.name] = 50
+    other = [r for r in replicas if r is not favourite][0]
+    rerouted = balancer.select_replica(make_request(prompt_len=220, prefix=shared), replicas)
+    assert rerouted is other
+
+
+def test_sglang_router_uses_shortest_queue_without_affinity(env, net, make_tiny_replica):
+    balancer = SGLangRouterBalancer(env, "sgl", "us", net)
+    replicas = _with_replicas(balancer, make_tiny_replica, count=3)
+    balancer.outstanding[replicas[0].name] = 9
+    balancer.outstanding[replicas[1].name] = 2
+    balancer.outstanding[replicas[2].name] = 5
+    chosen = balancer.select_replica(make_request(prompt_len=40), replicas)
+    assert chosen is replicas[1]
+
+
+# ----------------------------------------------------------------------
+# Gateway
+# ----------------------------------------------------------------------
+def test_gateway_prefers_local_cluster(env, net, make_tiny_replica):
+    gateway = GatewayBalancer(env, "gw-us", "us", net, spill_threshold=4)
+    for region in ("us", "eu"):
+        for _ in range(2):
+            gateway.add_replica(make_tiny_replica(region))
+    assert gateway._pick_cluster() == "us"
+
+
+def test_gateway_spills_to_least_loaded_remote_cluster(env, net, make_tiny_replica):
+    gateway = GatewayBalancer(env, "gw-us", "us", net, spill_threshold=2)
+    locals_ = [make_tiny_replica("us") for _ in range(2)]
+    remotes = [make_tiny_replica("eu") for _ in range(2)]
+    for replica in locals_ + remotes:
+        gateway.add_replica(replica)
+    for replica in locals_:
+        gateway.outstanding[replica.name] = 10
+    assert gateway._pick_cluster() == "eu"
+
+
+def test_gateway_round_robins_within_a_cluster(env, net, make_tiny_replica):
+    gateway = GatewayBalancer(env, "gw-us", "us", net)
+    replicas = [make_tiny_replica("us") for _ in range(3)]
+    for replica in replicas:
+        gateway.add_replica(replica)
+    picks = [gateway._pick_replica("us") for _ in range(6)]
+    assert picks == replicas * 2
+
+
+# ----------------------------------------------------------------------
+# end-to-end sanity for the centralized base class
+# ----------------------------------------------------------------------
+def test_centralized_balancer_serves_requests_end_to_end(env, net, make_tiny_replica):
+    balancer = RoundRobinBalancer(env, "rr", "us", net)
+    replicas = _with_replicas(balancer, make_tiny_replica, count=2)
+    balancer.start()
+    requests = [make_request(prompt_len=20, output_len=2, region="eu") for _ in range(4)]
+
+    def feeder(env):
+        for request in requests:
+            request.sent_time = env.now
+            net.deliver(request, "eu", "us", balancer.inbox)
+            yield env.timeout(0.2)
+
+    env.process(feeder(env))
+    env.run(until=30)
+    assert all(r.finished for r in requests)
+    # A centralized balancer in the US serving an EU client pays the
+    # cross-region response latency.
+    assert all(r.response_network_delay > 0.01 for r in requests)
+    assert balancer.dispatched_requests == 4

@@ -1,0 +1,40 @@
+"""Unit tests for instance pricing."""
+
+import pytest
+
+from repro.cluster import G6_XLARGE, ON_PREMISE_DISCOUNT, P5_48XLARGE, PRICING_CATALOG
+
+
+def test_paper_quoted_prices_for_p5():
+    # §2.1 quotes $98.32/h on demand and $37.56/h for a 3-year reservation.
+    assert P5_48XLARGE.on_demand_hourly == pytest.approx(98.32)
+    assert P5_48XLARGE.reserved_3yr_hourly == pytest.approx(37.56)
+    assert P5_48XLARGE.gpus_per_instance == 8
+
+
+def test_reserved_is_cheaper_than_on_demand():
+    for instance in PRICING_CATALOG.values():
+        assert instance.reserved_3yr_hourly < instance.reserved_1yr_hourly
+        assert instance.reserved_1yr_hourly < instance.on_demand_hourly
+
+
+def test_on_premise_applies_tco_discount():
+    expected = P5_48XLARGE.reserved_3yr_hourly * (1 - ON_PREMISE_DISCOUNT)
+    assert P5_48XLARGE.on_premise_hourly == pytest.approx(expected)
+    assert P5_48XLARGE.hourly("on_premise") == pytest.approx(expected)
+
+
+def test_hourly_lookup_by_commitment():
+    assert G6_XLARGE.hourly("on_demand") == G6_XLARGE.on_demand_hourly
+    assert G6_XLARGE.hourly("reserved_1yr") == G6_XLARGE.reserved_1yr_hourly
+    assert G6_XLARGE.hourly("reserved_3yr") == G6_XLARGE.reserved_3yr_hourly
+
+
+def test_unknown_commitment_rejected():
+    with pytest.raises(ValueError):
+        G6_XLARGE.hourly("spot")
+
+
+def test_catalog_is_keyed_by_instance_name():
+    assert PRICING_CATALOG["p5.48xlarge"] is P5_48XLARGE
+    assert PRICING_CATALOG["g6.xlarge"] is G6_XLARGE

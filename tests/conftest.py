@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.network import Network, default_topology
+from repro.replica import TINY_TEST_PROFILE, ReplicaServer
+from repro.sim import Environment
+from repro.workloads.request import Request
+
+_token_counter = itertools.count(1_000_000)
+
+
+def make_request(
+    prompt_len: int = 32,
+    output_len: int = 4,
+    *,
+    user_id: str = "user-0",
+    session_id: str = "session-0",
+    region: str = "us",
+    prefix=(),
+    sent_time: float = 0.0,
+) -> Request:
+    """A request with a fresh (non-shared) prompt of ``prompt_len`` tokens,
+    optionally prefixed by an explicit shared ``prefix``."""
+    fresh = tuple(next(_token_counter) for _ in range(max(0, prompt_len - len(prefix))))
+    request = Request(
+        prompt_tokens=tuple(prefix) + fresh,
+        output_len=output_len,
+        user_id=user_id,
+        session_id=session_id,
+        region=region,
+    )
+    request.sent_time = sent_time
+    request.lb_arrival_time = sent_time
+    return request
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def topology():
+    return default_topology()
+
+
+@pytest.fixture
+def network(env, topology) -> Network:
+    return Network(env, topology, jitter_fraction=0.0, seed=0)
+
+
+@pytest.fixture
+def tiny_replica(env) -> ReplicaServer:
+    return ReplicaServer(env, "us/replica-0", "us", TINY_TEST_PROFILE)
+
+
+@pytest.fixture
+def make_tiny_replica(env):
+    counter = itertools.count()
+
+    def factory(region: str = "us", **kwargs) -> ReplicaServer:
+        index = next(counter)
+        return ReplicaServer(env, f"{region}/replica-{index}", region, TINY_TEST_PROFILE, **kwargs)
+
+    return factory

@@ -1,0 +1,63 @@
+"""Unit tests for routing constraints (GDPR, continent, deny lists)."""
+
+from repro.core import (
+    AllowAll,
+    CompositeConstraint,
+    DenyRegions,
+    GDPRConstraint,
+    SameContinentConstraint,
+)
+from repro.network import default_topology, wide_topology
+
+from ..conftest import make_request
+
+
+def test_allow_all_allows_everything():
+    constraint = AllowAll()
+    request = make_request(region="eu")
+    assert constraint.allows(request, "eu", "us")
+    assert constraint.allows(request, "us", "asia")
+
+
+def test_gdpr_traffic_stays_in_gdpr_scope():
+    constraint = GDPRConstraint(default_topology())
+    eu_request = make_request(region="eu")
+    us_request = make_request(region="us")
+    # EU-origin traffic may not leave GDPR scope...
+    assert not constraint.allows(eu_request, "eu", "us")
+    assert not constraint.allows(eu_request, "eu", "asia")
+    assert constraint.allows(eu_request, "eu", "eu")
+    # ...but non-GDPR traffic may be offloaded into the EU (§7).
+    assert constraint.allows(us_request, "us", "eu")
+    assert constraint.allows(us_request, "us", "asia")
+
+
+def test_same_continent_constraint():
+    topology = wide_topology()
+    constraint = SameContinentConstraint(topology)
+    request = make_request(region="us-east-1")
+    assert constraint.allows(request, "us-east-1", "us-west")
+    assert not constraint.allows(request, "us-east-1", "eu-west")
+
+
+def test_deny_regions():
+    constraint = DenyRegions(["asia"])
+    request = make_request(region="us")
+    assert constraint.allows(request, "us", "eu")
+    assert not constraint.allows(request, "us", "asia")
+
+
+def test_composite_requires_all_members_to_allow():
+    topology = default_topology()
+    constraint = CompositeConstraint([GDPRConstraint(topology), DenyRegions(["asia"])])
+    us_request = make_request(region="us")
+    eu_request = make_request(region="eu")
+    assert constraint.allows(us_request, "us", "eu")
+    assert not constraint.allows(us_request, "us", "asia")   # deny list
+    assert not constraint.allows(eu_request, "eu", "us")     # GDPR
+
+
+def test_filter_regions_helper():
+    constraint = GDPRConstraint(default_topology())
+    eu_request = make_request(region="eu")
+    assert constraint.filter_regions(eu_request, "eu", ["us", "eu", "asia"]) == ["eu"]

@@ -1,0 +1,77 @@
+"""Property-based tests for the prefix tree (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PrefixTree
+
+token = st.integers(min_value=0, max_value=4)
+sequence = st.lists(token, min_size=1, max_size=16).map(tuple)
+target = st.sampled_from(["a", "b", "c", "d"])
+insertion = st.tuples(sequence, target)
+
+
+@given(st.lists(insertion, min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_structural_invariants_always_hold(insertions):
+    tree = PrefixTree()
+    for tokens, tgt in insertions:
+        tree.insert(tokens, tgt)
+        tree.check_invariants()
+
+
+@given(st.lists(insertion, min_size=1, max_size=40), sequence)
+@settings(max_examples=60, deadline=None)
+def test_best_target_never_overstates_the_match(insertions, probe):
+    tree = PrefixTree()
+    for tokens, tgt in insertions:
+        tree.insert(tokens, tgt)
+    targets = {tgt for _, tgt in insertions}
+    match = tree.best_target(probe, available=targets)
+    # Ground truth: the longest common prefix between the probe and any
+    # sequence inserted for the matched target.
+    if match.target is None:
+        return
+    best_true = 0
+    for tokens, tgt in insertions:
+        if tgt != match.target:
+            continue
+        common = 0
+        for a, b in zip(tokens, probe):
+            if a != b:
+                break
+            common += 1
+        best_true = max(best_true, common)
+    assert best_true >= match.matched_tokens
+
+
+@given(st.lists(insertion, min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_inserted_sequence_is_found_for_its_own_target(insertions):
+    tree = PrefixTree()
+    for tokens, tgt in insertions:
+        tree.insert(tokens, tgt)
+    for tokens, tgt in insertions:
+        assert tree.match_length(tokens, target=tgt) == len(tokens)
+
+
+@given(st.lists(insertion, min_size=1, max_size=60), st.integers(min_value=4, max_value=32))
+@settings(max_examples=40, deadline=None)
+def test_capacity_bound_is_respected(insertions, capacity):
+    tree = PrefixTree(max_tokens=capacity)
+    for tokens, tgt in insertions:
+        tree.insert(tokens, tgt)
+        assert tree.total_tokens <= capacity
+        tree.check_invariants()
+
+
+@given(st.lists(insertion, min_size=1, max_size=40), target)
+@settings(max_examples=40, deadline=None)
+def test_removed_target_is_never_returned(insertions, removed):
+    tree = PrefixTree()
+    for tokens, tgt in insertions:
+        tree.insert(tokens, tgt)
+    tree.remove_target(removed)
+    for tokens, _ in insertions:
+        match = tree.best_target(tokens, available=[removed])
+        assert match.target is None
+    tree.check_invariants()

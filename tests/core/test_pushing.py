@@ -1,0 +1,129 @@
+"""Unit tests for the pushing policies (BP, SP-O, SP-P)."""
+
+import pytest
+
+from repro.core import (
+    BlindPushing,
+    SelectivePushingOutstanding,
+    SelectivePushingPending,
+    make_pushing_policy,
+)
+from repro.core.pushing import ReplicaProbe
+
+
+def probe(pending=0, running=0, outstanding=None, healthy=True):
+    if outstanding is None:
+        outstanding = pending + running
+    return ReplicaProbe(
+        replica_name="r0",
+        healthy=healthy,
+        num_pending=pending,
+        num_running=running,
+        num_outstanding=outstanding,
+        memory_utilization=0.5,
+        probe_time=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Blind pushing
+# ----------------------------------------------------------------------
+def test_blind_pushing_accepts_any_healthy_replica():
+    policy = BlindPushing()
+    assert policy.blind
+    assert policy.replica_available(probe(pending=100, running=50), dispatched_since_probe=999)
+
+
+def test_blind_pushing_rejects_dead_replicas():
+    assert not BlindPushing().replica_available(probe(healthy=False), 0)
+
+
+# ----------------------------------------------------------------------
+# SP-O: fixed outstanding threshold
+# ----------------------------------------------------------------------
+def test_sp_o_enforces_fixed_threshold():
+    policy = SelectivePushingOutstanding(max_outstanding=8)
+    assert policy.replica_available(probe(running=7), 0)
+    assert not policy.replica_available(probe(running=8), 0)
+    assert not policy.replica_available(probe(running=20), 0)
+
+
+def test_sp_o_counts_recent_dispatches():
+    policy = SelectivePushingOutstanding(max_outstanding=8)
+    assert policy.replica_available(probe(running=5), dispatched_since_probe=2)
+    assert not policy.replica_available(probe(running=5), dispatched_since_probe=3)
+
+
+def test_sp_o_rejects_invalid_threshold():
+    with pytest.raises(ValueError):
+        SelectivePushingOutstanding(max_outstanding=0)
+
+
+def test_sp_o_is_insensitive_to_memory_footprint():
+    """The weakness the paper highlights: SP-O looks identical for a replica
+    holding a few huge requests and one holding many small ones."""
+    policy = SelectivePushingOutstanding(max_outstanding=24)
+    few_huge = probe(running=4)
+    many_small = probe(running=4)
+    assert policy.replica_available(few_huge, 0) == policy.replica_available(many_small, 0)
+
+
+# ----------------------------------------------------------------------
+# SP-P: pending-request based (SkyWalker)
+# ----------------------------------------------------------------------
+def test_sp_p_available_only_without_pending_requests():
+    policy = SelectivePushingPending()
+    assert policy.replica_available(probe(pending=0, running=40), 0)
+    assert not policy.replica_available(probe(pending=1, running=2), 0)
+
+
+def test_sp_p_adapts_to_batch_capacity_not_request_count():
+    """A replica running many requests but still admitting (no pending) is
+    available; a replica with few requests but a full batch is not."""
+    policy = SelectivePushingPending()
+    busy_but_admitting = probe(pending=0, running=48)
+    full_with_few = probe(pending=3, running=6)
+    assert policy.replica_available(busy_but_admitting, 0)
+    assert not policy.replica_available(full_with_few, 0)
+
+
+def test_sp_p_staleness_guard_bounds_dispatches_per_probe():
+    policy = SelectivePushingPending(pending_slack=0, max_dispatch_per_probe=3)
+    assert policy.replica_available(probe(pending=0), dispatched_since_probe=0)
+    assert policy.replica_available(probe(pending=0), dispatched_since_probe=2)
+    assert not policy.replica_available(probe(pending=0), dispatched_since_probe=3)
+
+
+def test_sp_p_rejects_invalid_dispatch_bound():
+    with pytest.raises(ValueError):
+        SelectivePushingPending(max_dispatch_per_probe=0)
+
+
+def test_sp_p_slack_allows_a_small_buffer():
+    policy = SelectivePushingPending(pending_slack=2)
+    assert policy.replica_available(probe(pending=2), 0)
+    assert not policy.replica_available(probe(pending=3), 0)
+
+
+def test_sp_p_rejects_negative_slack():
+    with pytest.raises(ValueError):
+        SelectivePushingPending(pending_slack=-1)
+
+
+def test_unhealthy_replicas_are_never_available():
+    for policy in (SelectivePushingPending(), SelectivePushingOutstanding(8)):
+        assert not policy.replica_available(probe(healthy=False), 0)
+
+
+# ----------------------------------------------------------------------
+# factory
+# ----------------------------------------------------------------------
+def test_factory_builds_each_policy():
+    assert isinstance(make_pushing_policy("BP"), BlindPushing)
+    assert isinstance(make_pushing_policy("sp-o", max_outstanding=10), SelectivePushingOutstanding)
+    assert isinstance(make_pushing_policy("SP-P"), SelectivePushingPending)
+
+
+def test_factory_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        make_pushing_policy("magic")

@@ -1,0 +1,116 @@
+"""Integration tests: every system kind runs end to end on a small workload."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_SYSTEMS,
+    ClusterConfig,
+    ExperimentConfig,
+    SystemConfig,
+    build_arena_workload,
+    build_skewed_workload,
+    run_experiment,
+)
+from repro.replica import TINY_TEST_PROFILE
+
+
+def tiny_cluster(per_region=1, **kwargs):
+    return ClusterConfig(
+        replicas_per_region={"us": per_region, "eu": per_region, "asia": per_region},
+        **kwargs,
+    )
+
+
+def run_tiny(kind, *, duration=40.0, scale=0.03, workload_builder=build_arena_workload, **system_kwargs):
+    workload = workload_builder(scale=scale)
+    config = ExperimentConfig(
+        system=SystemConfig(kind=kind, hash_key=workload.hash_key, **system_kwargs),
+        cluster=tiny_cluster(),
+        duration_s=duration,
+        seed=1,
+    )
+    return run_experiment(config, workload)
+
+
+@pytest.mark.parametrize("kind", ALL_SYSTEMS + ("region-local",))
+def test_every_system_kind_completes_requests(kind):
+    result = run_tiny(kind)
+    metrics = result.metrics
+    assert metrics.num_completed > 0, f"{kind} completed nothing"
+    assert metrics.throughput_tokens_per_s > 0
+    assert metrics.ttft.count == metrics.num_completed
+    assert metrics.ttft.p50 > 0
+    assert metrics.e2e_latency.p50 >= metrics.ttft.p50
+    # All completed requests carry full routing/execution metadata.
+    for request in result.completed:
+        assert request.replica_name is not None
+        assert request.serving_region is not None
+        assert request.first_token_time is not None
+
+
+def test_centralized_baseline_pays_cross_region_first_hop():
+    """Clients in Asia/Europe must cross an ocean to reach the single US
+    balancer, so their TTFT includes cross-region latency even when idle."""
+    result = run_tiny("round-robin")
+    remote_clients = [r for r in result.completed if r.region != "us"]
+    assert remote_clients
+    # Every such request was dispatched by the balancer in the US.
+    assert all(r.ingress_region == "us" for r in remote_clients)
+
+
+def test_skywalker_serves_clients_from_their_own_region_when_possible():
+    result = run_tiny("skywalker")
+    local = [r for r in result.completed if r.serving_region == r.region]
+    assert len(local) / len(result.completed) > 0.7
+    assert result.metrics.forwarded_fraction < 0.3
+
+
+def test_region_local_never_crosses_regions():
+    result = run_tiny("region-local", workload_builder=build_skewed_workload)
+    assert result.metrics.cross_region_fraction == 0.0
+    assert result.metrics.forwarded_fraction == 0.0
+
+
+def test_skywalker_offloads_under_regional_skew():
+    # Tiny replicas (small KV budget) make the skewed US load overflow its
+    # region, so cross-region offloading must kick in.
+    workload = build_skewed_workload(scale=0.08)
+    config = ExperimentConfig(
+        system=SystemConfig(kind="skywalker", hash_key=workload.hash_key),
+        cluster=tiny_cluster(profile=TINY_TEST_PROFILE),
+        duration_s=60.0,
+        seed=1,
+    )
+    result = run_experiment(config, workload)
+    assert result.metrics.forwarded_fraction > 0.0
+    forwarded = [r for r in result.completed if r.forward_hops > 0]
+    assert forwarded
+    assert all(r.forward_hops == 1 for r in forwarded)
+
+
+def test_prefix_aware_systems_achieve_higher_cache_hit_rate():
+    prefix_aware = run_tiny("skywalker").metrics.cache_hit_rate
+    oblivious = run_tiny("round-robin").metrics.cache_hit_rate
+    assert prefix_aware > oblivious
+
+
+def test_gdpr_constraint_is_enforced_end_to_end():
+    result = run_tiny("skywalker", constraint="gdpr", workload_builder=build_skewed_workload,
+                      duration=60.0, scale=0.05)
+    eu_requests = [r for r in result.completed if r.region == "eu"]
+    assert eu_requests
+    assert all(r.serving_region == "eu" for r in eu_requests)
+
+
+def test_issued_counts_at_least_completed():
+    result = run_tiny("least-load")
+    assert result.metrics.num_issued >= result.metrics.num_completed
+
+
+def test_experiment_is_reproducible_for_a_fixed_seed():
+    first = run_tiny("skywalker-ch")
+    second = run_tiny("skywalker-ch")
+    assert first.metrics.num_completed == second.metrics.num_completed
+    assert first.metrics.throughput_tokens_per_s == pytest.approx(
+        second.metrics.throughput_tokens_per_s
+    )

@@ -1,0 +1,79 @@
+"""Unit tests for the evaluation workload builders (§5.1 configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    MACRO_WORKLOAD_BUILDERS,
+    build_arena_workload,
+    build_mixed_tree_workload,
+    build_skewed_workload,
+    build_tot_workload,
+    build_wildchat_workload,
+)
+
+
+def test_arena_workload_has_equal_clients_per_region():
+    spec = build_arena_workload(scale=0.1)
+    assert spec.name == "chatbot-arena"
+    assert len(set(spec.clients_per_region.values())) == 1
+    assert set(spec.programs_by_region) == {"us", "eu", "asia"}
+    assert spec.hash_key == "user"
+    assert spec.total_requests > 0
+
+
+def test_wildchat_workload_skews_clients_toward_the_us():
+    spec = build_wildchat_workload(scale=0.5)
+    assert spec.clients_per_region["us"] > spec.clients_per_region["eu"]
+    assert spec.clients_per_region["eu"] == spec.clients_per_region["asia"]
+    # Conversations are region-local: every program's requests stay in-region.
+    for region, programs in spec.programs_by_region.items():
+        assert all(p.region == region for p in programs)
+
+
+def test_tot_workload_uses_two_branch_trees():
+    spec = build_tot_workload(scale=0.1)
+    assert spec.hash_key == "session"
+    some_program = spec.programs_by_region["us"][0]
+    assert some_program.num_requests == 15
+    assert [len(stage) for stage in some_program.stages] == [1, 2, 4, 8]
+
+
+def test_mixed_tree_workload_mixes_tree_sizes():
+    spec = build_mixed_tree_workload(scale=0.2)
+    us_sizes = {p.num_requests for p in spec.programs_by_region["us"]}
+    eu_sizes = {p.num_requests for p in spec.programs_by_region["eu"]}
+    assert us_sizes == {85}   # 4-branch trees in the US
+    assert eu_sizes == {15}   # 2-branch trees elsewhere
+    assert spec.clients_per_region["us"] < spec.clients_per_region["eu"]
+
+
+def test_skewed_workload_matches_figure_10_ratios():
+    spec = build_skewed_workload(scale=0.1)
+    assert spec.clients_per_region["us"] == 3 * spec.clients_per_region["eu"]
+    assert spec.clients_per_region["eu"] == spec.clients_per_region["asia"]
+
+
+def test_scale_changes_client_counts_proportionally():
+    small = build_arena_workload(scale=0.05)
+    large = build_arena_workload(scale=0.2)
+    assert large.clients_per_region["us"] > small.clients_per_region["us"]
+    assert large.total_requests > small.total_requests
+
+
+def test_builder_registry_covers_the_four_macro_workloads():
+    assert set(MACRO_WORKLOAD_BUILDERS) == {
+        "chatbot-arena", "wildchat", "tree-of-thoughts", "mixed-tree",
+    }
+    for builder in MACRO_WORKLOAD_BUILDERS.values():
+        spec = builder(scale=0.05)
+        assert spec.total_requests > 0
+
+
+def test_workloads_are_deterministic_per_seed():
+    a = build_arena_workload(scale=0.05, seed=9)
+    b = build_arena_workload(scale=0.05, seed=9)
+    prompts_a = [r.prompt_tokens for programs in a.programs_by_region.values()
+                 for p in programs for r in p.all_requests()]
+    prompts_b = [r.prompt_tokens for programs in b.programs_by_region.values()
+                 for p in programs for r in p.all_requests()]
+    assert prompts_a == prompts_b

@@ -1,0 +1,64 @@
+"""Unit tests for latency summaries and percentile computation."""
+
+import pytest
+
+from repro.metrics import LatencySummary, percentile
+
+
+def test_percentile_of_single_value():
+    assert percentile([5.0], 50) == 5.0
+    assert percentile([5.0], 99) == 5.0
+
+
+def test_percentile_interpolates_linearly():
+    values = [0.0, 10.0]
+    assert percentile(values, 0) == 0.0
+    assert percentile(values, 50) == 5.0
+    assert percentile(values, 100) == 10.0
+    assert percentile([1, 2, 3, 4, 5], 25) == 2.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+def test_summary_from_values():
+    values = list(range(1, 101))  # 1..100
+    summary = LatencySummary.from_values(values)
+    assert summary.count == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.p50 == pytest.approx(50.5)
+    assert summary.p10 == pytest.approx(10.9)
+    assert summary.p90 == pytest.approx(90.1)
+    assert summary.minimum == 1
+    assert summary.maximum == 100
+    assert summary.p25 <= summary.p50 <= summary.p75 <= summary.p90 <= summary.p99
+
+
+def test_summary_skips_none_values():
+    summary = LatencySummary.from_values([1.0, None, 3.0])
+    assert summary.count == 2
+    assert summary.mean == 2.0
+
+
+def test_empty_summary():
+    summary = LatencySummary.from_values([])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+    assert str(summary) == "n=0"
+
+
+def test_summary_to_dict_roundtrip():
+    summary = LatencySummary.from_values([1.0, 2.0, 3.0])
+    data = summary.to_dict()
+    assert data["count"] == 3
+    assert data["p50"] == 2.0
+    assert set(data) == {"count", "mean", "p10", "p25", "p50", "p75", "p90", "p99", "min", "max"}
+
+
+def test_summary_str_contains_key_stats():
+    text = str(LatencySummary.from_values([1.0, 2.0, 3.0, 4.0]))
+    assert "p50" in text and "p90" in text and "n=4" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the latency-faithful message transport."""
+
+import pytest
+
+from repro.network import Network, default_topology
+from repro.sim import Environment, Store
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, default_topology(), jitter_fraction=0.0, seed=1)
+
+
+def test_deliver_applies_one_way_latency(env, net):
+    inbox = Store(env)
+    arrivals = []
+
+    def consumer(env):
+        item = yield inbox.get()
+        arrivals.append((item, env.now))
+
+    env.process(consumer(env))
+    net.deliver("payload", "us", "eu", inbox)
+    env.run()
+    assert arrivals == [("payload", pytest.approx(net.topology.one_way("us", "eu")))]
+
+
+def test_deliver_intra_region_is_fast(env, net):
+    inbox = Store(env)
+    net.deliver("x", "us", "us", inbox)
+    env.run()
+    assert env.now <= 0.01
+
+
+def test_jitter_stays_within_bounds(env):
+    net = Network(env, default_topology(), jitter_fraction=0.2, seed=3)
+    base = net.topology.one_way("us", "asia")
+    samples = [net.sample_one_way("us", "asia") for _ in range(200)]
+    assert all(base * 0.8 <= s <= base * 1.2 for s in samples)
+    assert len(set(samples)) > 1  # actually random
+
+
+def test_zero_jitter_is_deterministic(env, net):
+    samples = {net.sample_one_way("us", "eu") for _ in range(10)}
+    assert len(samples) == 1
+
+
+def test_message_accounting_distinguishes_cross_region(env, net):
+    inbox = Store(env)
+    net.deliver("a", "us", "us", inbox)
+    net.deliver("b", "us", "eu", inbox)
+    net.deliver("c", "eu", "asia", inbox)
+    assert net.messages_sent == 3
+    assert net.cross_region_messages == 2
+
+
+def test_call_after_delay_runs_callback_later(env, net):
+    fired = []
+    net.call_after_delay("us", "asia", lambda: fired.append(env.now))
+    assert fired == []
+    env.run()
+    assert fired == [pytest.approx(net.topology.one_way("us", "asia"))]
+
+
+def test_probe_generator_returns_value_after_rtt(env, net):
+    state = {"value": 7}
+    results = []
+
+    def prober(env):
+        value = yield from net.probe("us", "eu", lambda: state["value"])
+        results.append((value, env.now))
+
+    env.process(prober(env))
+    # Mutate the state before the probe completes: the probe reads at the end
+    # of the round trip, so it must observe the new value.
+    state["value"] = 42
+    env.run()
+    assert results[0][0] == 42
+    assert results[0][1] == pytest.approx(net.topology.rtt("us", "eu"))
+    assert net.probe_count == 1
+
+
+def test_probe_delay_counts_probes(env, net):
+    def prober(env):
+        yield net.probe_delay("us", "us")
+
+    env.process(prober(env))
+    env.run()
+    assert net.probe_count == 1

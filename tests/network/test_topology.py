@@ -1,0 +1,93 @@
+"""Unit tests for the region/latency topology."""
+
+import pytest
+
+from repro.network import NetworkTopology, RegionInfo, default_topology, wide_topology
+
+
+def test_default_topology_has_three_regions():
+    topology = default_topology()
+    assert set(topology.region_names()) == {"us", "eu", "asia"}
+
+
+def test_intra_region_latency_is_small():
+    topology = default_topology()
+    assert topology.one_way("us", "us") < 0.01
+
+
+def test_cross_region_latency_is_symmetric_by_default():
+    topology = default_topology()
+    assert topology.one_way("us", "eu") == topology.one_way("eu", "us")
+    assert topology.rtt("us", "asia") == pytest.approx(2 * topology.one_way("us", "asia"))
+
+
+def test_cross_region_latencies_are_in_realistic_wan_range():
+    topology = default_topology()
+    for src in topology.region_names():
+        for dst in topology.region_names():
+            if src == dst:
+                continue
+            assert 0.02 < topology.one_way(src, dst) < 0.25
+
+
+def test_unknown_region_raises():
+    topology = default_topology()
+    with pytest.raises(KeyError):
+        topology.one_way("us", "mars")
+    with pytest.raises(KeyError):
+        topology.info("mars")
+
+
+def test_missing_link_raises():
+    topology = NetworkTopology(
+        [RegionInfo("a", 0), RegionInfo("b", 0), RegionInfo("c", 0)],
+        {("a", "b"): 0.05},
+    )
+    with pytest.raises(KeyError):
+        topology.one_way("a", "c")
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        NetworkTopology([RegionInfo("a", 0), RegionInfo("b", 0)], {("a", "b"): -1.0})
+
+
+def test_nearest_picks_lowest_latency_candidate():
+    topology = default_topology()
+    assert topology.nearest("us", ["eu", "asia"]) == "eu"
+    assert topology.nearest("us", ["us", "eu", "asia"]) == "us"
+    assert topology.nearest("us", []) is None
+
+
+def test_gdpr_compatibility_rules():
+    topology = default_topology()
+    # Non-GDPR traffic may go anywhere, including into the EU.
+    assert topology.gdpr_compatible("us", "eu")
+    assert topology.gdpr_compatible("us", "asia")
+    # GDPR traffic must stay within GDPR scope.
+    assert topology.gdpr_compatible("eu", "eu")
+    assert not topology.gdpr_compatible("eu", "us")
+    assert not topology.gdpr_compatible("eu", "asia")
+
+
+def test_same_continent_checks_continent_labels():
+    topology = wide_topology()
+    assert topology.same_continent("us-east-1", "us-west")
+    assert not topology.same_continent("us-east-1", "eu-west")
+
+
+def test_wide_topology_is_fully_connected():
+    topology = wide_topology()
+    names = topology.region_names()
+    assert len(names) == 7
+    for src in names:
+        for dst in names:
+            assert topology.one_way(src, dst) >= 0.0
+
+
+def test_add_region_and_link_extend_topology():
+    topology = default_topology()
+    topology.add_region(RegionInfo("sa", utc_offset_hours=-3, continent="south-america"))
+    topology.add_link("sa", "us", 0.12)
+    assert topology.one_way("sa", "us") == 0.12
+    assert topology.one_way("us", "sa") == 0.12

@@ -1,0 +1,135 @@
+"""Unit tests for the continuous-batching scheduler state."""
+
+import pytest
+
+from repro.replica import ContinuousBatcher, TINY_TEST_PROFILE
+
+from ..conftest import make_request
+
+
+@pytest.fixture
+def batcher():
+    return ContinuousBatcher(TINY_TEST_PROFILE)
+
+
+def test_enqueue_makes_request_pending(batcher):
+    request = make_request(prompt_len=20, output_len=3)
+    batcher.enqueue(request, now=1.0)
+    assert batcher.num_pending == 1
+    assert batcher.num_running == 0
+    assert batcher.num_outstanding == 1
+    assert request.replica_arrival_time == 1.0
+
+
+def test_admit_moves_requests_into_the_batch(batcher):
+    for _ in range(3):
+        batcher.enqueue(make_request(prompt_len=10, output_len=2), now=0.0)
+    admitted = batcher.admit(now=1.0)
+    assert len(admitted) == 3
+    assert batcher.num_pending == 0
+    assert batcher.num_running == 3
+    for seq in admitted:
+        assert seq.request.schedule_time == 1.0
+
+
+def test_admission_respects_max_batch_size(batcher):
+    for _ in range(TINY_TEST_PROFILE.max_batch_size + 5):
+        batcher.enqueue(make_request(prompt_len=4, output_len=2), now=0.0)
+    batcher.admit(now=0.0)
+    assert batcher.num_running == TINY_TEST_PROFILE.max_batch_size
+    assert batcher.num_pending == 5
+
+
+def test_admission_blocks_on_memory_and_is_fcfs(batcher):
+    capacity = batcher.memory.capacity_tokens
+    huge = make_request(prompt_len=capacity - TINY_TEST_PROFILE.admission_output_reserve,
+                        output_len=2)
+    small_a = make_request(prompt_len=10, output_len=2)
+    small_b = make_request(prompt_len=10, output_len=2)
+    batcher.enqueue(huge, now=0.0)
+    batcher.enqueue(small_a, now=0.0)
+    batcher.enqueue(small_b, now=0.0)
+    admitted = batcher.admit(now=0.0)
+    # The huge request fills memory; the small ones wait behind it (FCFS,
+    # head-of-line blocking by design).
+    assert [seq.request for seq in admitted] == [huge]
+    assert batcher.num_pending == 2
+
+
+def test_plan_step_prefers_prefill_then_decodes(batcher):
+    batcher.enqueue(make_request(prompt_len=30, output_len=3), now=0.0)
+    plan = batcher.plan_step(now=0.0)
+    assert plan.kind == "prefill"
+    assert plan.duration > 0
+    finished = batcher.complete_prefill(plan.admitted, now=1.0)
+    assert finished == []
+    next_plan = batcher.plan_step(now=1.0)
+    assert next_plan.kind == "decode"
+
+
+def test_plan_step_idle_when_no_work(batcher):
+    assert batcher.plan_step(now=0.0).kind == "idle"
+
+
+def test_prefill_emits_first_token_and_single_token_requests_finish(batcher):
+    one_shot = make_request(prompt_len=12, output_len=1)
+    batcher.enqueue(one_shot, now=0.0)
+    plan = batcher.plan_step(now=0.0)
+    finished = batcher.complete_prefill(plan.admitted, now=2.0)
+    assert finished == [one_shot]
+    assert one_shot.first_token_time == 2.0
+    assert one_shot.finish_time == 2.0
+    assert one_shot.finished
+
+
+def test_decode_steps_finish_requests_in_output_length_order(batcher):
+    short = make_request(prompt_len=10, output_len=2)
+    long = make_request(prompt_len=10, output_len=4)
+    batcher.enqueue(short, now=0.0)
+    batcher.enqueue(long, now=0.0)
+    plan = batcher.plan_step(now=0.0)
+    batcher.complete_prefill(plan.admitted, now=0.5)
+    finish_order = []
+    clock = 1.0
+    while batcher.num_running:
+        finish_order.extend(batcher.complete_decode_step(now=clock))
+        clock += 1.0
+    assert finish_order == [short, long]
+    assert short.generated_tokens == 2
+    assert long.generated_tokens == 4
+
+
+def test_finished_requests_release_memory(batcher):
+    request = make_request(prompt_len=50, output_len=2)
+    batcher.enqueue(request, now=0.0)
+    plan = batcher.plan_step(now=0.0)
+    batcher.complete_prefill(plan.admitted, now=0.1)
+    batcher.complete_decode_step(now=0.2)
+    assert batcher.num_running == 0
+    assert batcher.memory.num_running == 0
+
+
+def test_cache_hit_rate_reflects_shared_prefixes(batcher):
+    shared = tuple(range(5_000, 5_100))
+    first = make_request(prompt_len=120, prefix=shared, output_len=1)
+    second = make_request(prompt_len=120, prefix=shared, output_len=1)
+    for request in (first, second):
+        batcher.enqueue(request, now=0.0)
+        plan = batcher.plan_step(now=0.0)
+        batcher.complete_prefill(plan.admitted, now=0.1)
+    assert batcher.total_cached_tokens >= 100
+    assert 0.0 < batcher.cache_hit_rate < 1.0
+    assert second.cached_prefix_tokens >= 100
+
+
+def test_abort_all_fails_everything(batcher):
+    running = make_request(prompt_len=10, output_len=5)
+    waiting = make_request(prompt_len=10, output_len=5)
+    batcher.enqueue(running, now=0.0)
+    plan = batcher.plan_step(now=0.0)
+    batcher.complete_prefill(plan.admitted, now=0.1)
+    batcher.enqueue(waiting, now=0.2)
+    aborted = batcher.abort_all(now=0.3)
+    assert set(aborted) == {running, waiting}
+    assert batcher.num_outstanding == 0
+    assert all(r.status == "failed" for r in aborted)

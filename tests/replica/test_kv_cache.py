@@ -1,0 +1,143 @@
+"""Unit tests for the radix KV prefix cache."""
+
+import pytest
+
+from repro.replica import RadixCache
+
+
+def seq(*values):
+    return tuple(values)
+
+
+def test_empty_cache_matches_nothing():
+    cache = RadixCache()
+    result = cache.match_prefix(seq(1, 2, 3))
+    assert result.matched_tokens == 0
+    assert result.nodes == []
+
+
+def test_insert_then_match_full_sequence():
+    cache = RadixCache()
+    added = cache.insert(seq(1, 2, 3, 4))
+    assert added == 4
+    result = cache.match_prefix(seq(1, 2, 3, 4))
+    assert result.matched_tokens == 4
+    assert cache.total_tokens == 4
+
+
+def test_partial_prefix_match():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3, 4, 5))
+    result = cache.match_prefix(seq(1, 2, 3, 9, 9))
+    assert result.matched_tokens == 3
+
+
+def test_shared_prefix_is_stored_once():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3, 4))
+    cache.insert(seq(1, 2, 3, 7, 8))
+    # 4 tokens for the first insert, 2 new for the divergent suffix.
+    assert cache.total_tokens == 6
+
+
+def test_insert_is_idempotent_for_identical_sequences():
+    cache = RadixCache()
+    cache.insert(seq(5, 6, 7))
+    added = cache.insert(seq(5, 6, 7))
+    assert added == 0
+    assert cache.total_tokens == 3
+
+
+def test_edge_split_preserves_matches():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3, 4, 5, 6))
+    cache.insert(seq(1, 2, 3, 9))
+    for probe, expected in [
+        (seq(1, 2, 3, 4, 5, 6), 6),
+        (seq(1, 2, 3, 9), 4),
+        (seq(1, 2, 3), 3),
+    ]:
+        assert cache.match_prefix(probe).matched_tokens == expected
+    cache.check_invariants()
+
+
+def test_capacity_truncates_insert():
+    cache = RadixCache(capacity_tokens=5)
+    added = cache.insert(seq(1, 2, 3, 4, 5, 6, 7, 8))
+    assert added == 5
+    assert cache.total_tokens == 5
+    cache.check_invariants()
+
+
+def test_eviction_frees_least_recently_used_leaf():
+    cache = RadixCache(capacity_tokens=100)
+    cache.insert(seq(1, 2, 3), now=1.0)
+    cache.insert(seq(10, 20, 30), now=2.0)
+    # Touch the first sequence so the second becomes the LRU leaf.
+    cache.match_prefix(seq(1, 2, 3), now=3.0)
+    evicted = cache.evict(1, now=4.0)
+    assert evicted >= 1
+    assert cache.match_prefix(seq(1, 2, 3), record=False).matched_tokens == 3
+    assert cache.match_prefix(seq(10, 20, 30), record=False).matched_tokens == 0
+
+
+def test_locked_paths_are_never_evicted():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3, 4))
+    result = cache.match_prefix(seq(1, 2, 3, 4), record=False)
+    cache.lock(result.last_node)
+    evicted = cache.evict(100)
+    assert evicted == 0
+    assert cache.total_tokens == 4
+    cache.unlock(result.last_node)
+    assert cache.evict(100) == 4
+    assert cache.total_tokens == 0
+
+
+def test_unlock_without_lock_raises():
+    cache = RadixCache()
+    cache.insert(seq(1, 2))
+    node = cache.match_prefix(seq(1, 2), record=False).last_node
+    with pytest.raises(RuntimeError):
+        cache.unlock(node)
+
+
+def test_lock_survives_edge_split():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3, 4, 5, 6))
+    locked = cache.match_prefix(seq(1, 2, 3, 4, 5, 6), record=False).last_node
+    cache.lock(locked)
+    # Splitting the locked edge must keep the whole original path protected.
+    cache.insert(seq(1, 2, 3, 99))
+    assert cache.evict(10_000) <= 1  # only the new divergent token is evictable
+    assert cache.match_prefix(seq(1, 2, 3, 4, 5, 6), record=False).matched_tokens == 6
+    cache.unlock(locked)
+    cache.check_invariants()
+
+
+def test_hit_rate_counters():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3, 4))
+    cache.match_prefix(seq(1, 2, 3, 4))
+    cache.match_prefix(seq(9, 9, 9, 9))
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_clear_empties_unlocked_cache():
+    cache = RadixCache()
+    cache.insert(seq(1, 2, 3))
+    cache.insert(seq(4, 5))
+    cache.clear()
+    assert cache.total_tokens == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        RadixCache(capacity_tokens=0)
+
+
+def test_path_tokens_reconstructs_sequence():
+    cache = RadixCache()
+    cache.insert(seq(7, 8, 9, 10))
+    node = cache.match_prefix(seq(7, 8, 9, 10), record=False).last_node
+    assert node.path_tokens() == seq(7, 8, 9, 10)

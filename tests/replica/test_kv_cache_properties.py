@@ -1,0 +1,87 @@
+"""Property-based tests for the radix KV cache (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.replica import RadixCache
+
+# Small alphabet so random sequences share prefixes often.
+token = st.integers(min_value=0, max_value=5)
+sequence = st.lists(token, min_size=1, max_size=24).map(tuple)
+
+
+@given(st.lists(sequence, min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_invariants_hold_after_arbitrary_inserts(sequences):
+    cache = RadixCache()
+    for index, seq in enumerate(sequences):
+        cache.insert(seq, now=float(index))
+        cache.check_invariants()
+
+
+@given(st.lists(sequence, min_size=1, max_size=30), sequence)
+@settings(max_examples=60, deadline=None)
+def test_match_never_exceeds_true_common_prefix(sequences, probe):
+    cache = RadixCache()
+    for seq in sequences:
+        cache.insert(seq)
+    matched = cache.match_prefix(probe, record=False).matched_tokens
+    best_true = 0
+    for seq in sequences:
+        common = 0
+        for a, b in zip(seq, probe):
+            if a != b:
+                break
+            common += 1
+        best_true = max(best_true, common)
+    # The cache can never report more overlap than genuinely exists, and an
+    # unbounded cache must find the full best overlap.
+    assert matched == best_true
+
+
+@given(st.lists(sequence, min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_inserted_sequences_are_fully_matched_when_capacity_unbounded(sequences):
+    cache = RadixCache()
+    for seq in sequences:
+        cache.insert(seq)
+    for seq in sequences:
+        assert cache.match_prefix(seq, record=False).matched_tokens == len(seq)
+
+
+@given(st.lists(sequence, min_size=1, max_size=30), st.integers(min_value=1, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_capacity_is_never_exceeded(sequences, capacity):
+    cache = RadixCache(capacity_tokens=capacity)
+    for index, seq in enumerate(sequences):
+        needed = len(seq)
+        free = cache.capacity_tokens - cache.total_tokens
+        if needed > free:
+            cache.evict(needed - free, now=float(index))
+        cache.insert(seq, now=float(index))
+        assert cache.total_tokens <= capacity
+        cache.check_invariants()
+
+
+@given(st.lists(sequence, min_size=2, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_eviction_of_unlocked_tree_can_reach_zero(sequences):
+    cache = RadixCache()
+    for seq in sequences:
+        cache.insert(seq)
+    cache.evict(cache.total_tokens + 10)
+    assert cache.total_tokens == 0
+
+
+@given(st.lists(sequence, min_size=1, max_size=20), st.data())
+@settings(max_examples=40, deadline=None)
+def test_locked_sequence_survives_eviction(sequences, data):
+    cache = RadixCache()
+    for seq in sequences:
+        cache.insert(seq)
+    protected = data.draw(st.sampled_from(sequences))
+    node = cache.match_prefix(protected, record=False).last_node
+    cache.lock(node)
+    cache.evict(cache.total_tokens)
+    assert cache.match_prefix(protected, record=False).matched_tokens == len(protected)
+    cache.unlock(node)
+    cache.check_invariants()

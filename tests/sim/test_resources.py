@@ -1,0 +1,141 @@
+"""Unit tests for Store, PriorityStore and Resource."""
+
+import pytest
+
+from repro.sim import PriorityStore, Resource, Store
+
+
+def test_store_is_fifo(env):
+    store = Store(env)
+    received = []
+
+    def producer(env, store):
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_item_available(env):
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(4)
+        yield store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [(4.0, "late")]
+
+
+def test_store_capacity_blocks_put(env):
+    store = Store(env, capacity=1)
+    progress = []
+
+    def producer(env, store):
+        yield store.put("first")
+        progress.append(("put-first", env.now))
+        yield store.put("second")
+        progress.append(("put-second", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(5)
+        item = yield store.get()
+        progress.append(("got", item, env.now))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert ("put-first", 0.0) in progress
+    # The second put can only complete after the consumer frees a slot at t=5.
+    assert ("put-second", 5.0) in progress
+
+
+def test_store_invalid_capacity(env):
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len_reflects_items(env):
+    store = Store(env)
+    store.put("x")
+    store.put("y")
+    env.run()
+    assert len(store) == 2
+
+
+def test_priority_store_returns_smallest_first(env):
+    store = PriorityStore(env)
+    received = []
+
+    def producer(env, store):
+        for item in [(3, "low"), (1, "high"), (2, "mid")]:
+            yield store.put(item)
+
+    def consumer(env, store):
+        # Start after every item has been enqueued so ordering is observable.
+        yield env.timeout(1)
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item[1])
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == ["high", "mid", "low"]
+
+
+def test_resource_limits_concurrency(env):
+    resource = Resource(env, capacity=2)
+    active = []
+    max_active = []
+
+    def worker(env, resource, duration):
+        request = resource.request()
+        yield request
+        active.append(1)
+        max_active.append(len(active))
+        yield env.timeout(duration)
+        active.pop()
+        resource.release(request)
+
+    for _ in range(5):
+        env.process(worker(env, resource, 3))
+    env.run()
+    assert max(max_active) == 2
+
+
+def test_resource_context_manager_releases(env):
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, resource, label):
+        with resource.request() as request:
+            yield request
+            order.append((label, env.now))
+            yield env.timeout(2)
+
+    env.process(worker(env, resource, "first"))
+    env.process(worker(env, resource, "second"))
+    env.run()
+    assert order == [("first", 0.0), ("second", 2.0)]
+    assert resource.count == 0
+
+
+def test_resource_invalid_capacity(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)

@@ -1,0 +1,122 @@
+"""Unit tests for diurnal traffic patterns and trace statistics."""
+
+import pytest
+
+from repro.workloads import COUNTRY_PROFILES, DiurnalPattern, RegionalTrace, generate_daily_trace
+
+
+# ----------------------------------------------------------------------
+# DiurnalPattern
+# ----------------------------------------------------------------------
+def test_rate_peaks_at_local_peak_hour():
+    pattern = DiurnalPattern(utc_offset_hours=0, base_rate=100, peak_rate=1000, peak_local_hour=15)
+    rates = {hour: pattern.rate_at(hour) for hour in range(24)}
+    assert max(rates, key=rates.get) == 15
+
+
+def test_timezone_offset_shifts_the_peak():
+    base = DiurnalPattern(utc_offset_hours=0, base_rate=100, peak_rate=1000, peak_local_hour=15)
+    shifted = DiurnalPattern(utc_offset_hours=+8, base_rate=100, peak_rate=1000, peak_local_hour=15)
+    base_peak_utc = max(range(24), key=lambda h: base.rate_at(h))
+    shifted_peak_utc = max(range(24), key=lambda h: shifted.rate_at(h))
+    assert (shifted_peak_utc + 8) % 24 == pytest.approx(base_peak_utc % 24)
+
+
+def test_rate_is_bounded_by_base_and_peak():
+    pattern = COUNTRY_PROFILES["united-states"]
+    for hour in range(24):
+        rate = pattern.rate_at(hour)
+        assert pattern.base_rate <= rate <= pattern.peak_rate + 1e-9
+
+
+def test_country_profiles_cover_the_figure_2_panels():
+    assert set(COUNTRY_PROFILES) == {
+        "united-states", "russia", "china", "united-kingdom", "germany", "france",
+    }
+
+
+# ----------------------------------------------------------------------
+# Trace generation
+# ----------------------------------------------------------------------
+def test_generate_daily_trace_shape_and_determinism():
+    trace_a = generate_daily_trace(COUNTRY_PROFILES, seed=5)
+    trace_b = generate_daily_trace(COUNTRY_PROFILES, seed=5)
+    assert trace_a.num_hours == 24
+    assert set(trace_a.regions) == set(COUNTRY_PROFILES)
+    assert trace_a.hourly_counts == trace_b.hourly_counts
+
+
+def test_noise_free_trace_matches_pattern():
+    trace = generate_daily_trace(COUNTRY_PROFILES, poisson_noise=False)
+    pattern = COUNTRY_PROFILES["france"]
+    assert trace.series("france") == [int(round(pattern.rate_at(h))) for h in range(24)]
+
+
+def test_regional_variance_shrinks_after_aggregation():
+    """Fig. 3a: aggregating regions flattens the demand curve."""
+    trace = generate_daily_trace(COUNTRY_PROFILES, seed=0)
+    regional = [trace.peak_to_trough_ratio(region) for region in trace.regions]
+    assert max(regional) > 3.0
+    assert trace.aggregated_peak_to_trough_ratio() < min(regional)
+
+
+# ----------------------------------------------------------------------
+# RegionalTrace statistics
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_trace():
+    return RegionalTrace(
+        hourly_counts={
+            "us": [10, 50, 100, 20],
+            "eu": [100, 20, 10, 50],
+            "asia": [20, 100, 50, 10],
+        }
+    )
+
+
+def test_aggregate_sums_per_hour(small_trace):
+    assert small_trace.aggregate() == [130, 170, 160, 80]
+    assert small_trace.aggregated_peak() == 170
+    assert small_trace.total_requests() == 540
+
+
+def test_peaks_and_ratios(small_trace):
+    assert small_trace.region_peak("us") == 100
+    assert small_trace.region_trough("us") == 10
+    assert small_trace.peak_to_trough_ratio("us") == 10.0
+    assert small_trace.sum_of_region_peaks() == 300
+
+
+def test_required_replicas_strategies(small_trace):
+    counts = small_trace.required_replicas(requests_per_replica_hour=50)
+    # Region-local: ceil(100/50) * 3 regions = 6.
+    assert counts["region_local"] == 6
+    # Aggregated: ceil(170/50) = 4.
+    assert counts["aggregated"] == 4
+    # Perfect autoscaling replica-hours: ceil(130/50)+ceil(170/50)+ceil(160/50)+ceil(80/50).
+    assert counts["on_demand_hours"] == 3 + 4 + 4 + 2
+    assert counts["aggregated"] <= counts["region_local"]
+
+
+def test_required_replicas_rejects_nonpositive_capacity(small_trace):
+    with pytest.raises(ValueError):
+        small_trace.required_replicas(0)
+
+
+def test_subset_keeps_selected_regions(small_trace):
+    subset = small_trace.subset(["us", "eu"])
+    assert set(subset.regions) == {"us", "eu"}
+    assert subset.series("us") == [10, 50, 100, 20]
+
+
+def test_mismatched_series_lengths_rejected():
+    with pytest.raises(ValueError):
+        RegionalTrace(hourly_counts={"a": [1, 2], "b": [1]})
+
+
+def test_empty_trace_degenerate_statistics():
+    trace = RegionalTrace()
+    assert trace.num_hours == 0
+    assert trace.aggregate() == []
+    assert trace.aggregated_peak() == 0
+    assert trace.aggregated_peak_to_trough_ratio() == 1.0
