@@ -1,4 +1,5 @@
-"""Setuptools shim for legacy editable installs (no `wheel` package offline)."""
+"""Setuptools shim for legacy editable installs; all metadata lives in
+pyproject.toml (src layout, so `pip install -e .` works without PYTHONPATH)."""
 from setuptools import setup
 
 setup()

@@ -1,21 +1,61 @@
 """SkyWalker reproduction: a locality-aware cross-region load balancer for
 LLM inference, together with the full simulated serving stack it runs on.
 
-Quick start::
+Quick start -- one run with a registry-typed system config::
 
     from repro.experiments import (
-        ClusterConfig, ExperimentConfig, SystemConfig, run_experiment,
+        ClusterConfig, ExperimentConfig, SkyWalkerConfig, run_experiment,
         build_arena_workload,
     )
 
     workload = build_arena_workload(scale=0.1)
     config = ExperimentConfig(
-        system=SystemConfig(kind="skywalker"),
+        system=SkyWalkerConfig(kind="skywalker", pushing="SP-P"),
         cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
         duration_s=60.0,
     )
     result = run_experiment(config, workload)
     print(result.metrics.format_row())
+
+Sweep several systems over one generated workload (the workload is built
+once and replayed with fresh request state per variant)::
+
+    from repro.experiments import REGISTRY, run_sweep
+
+    sweep = run_sweep(
+        [REGISTRY.spec("skywalker"), REGISTRY.spec("skywalker-hybrid"),
+         REGISTRY.spec("least-load")],
+        [workload],
+    )
+    print(sweep.format_report())
+
+Add a whole new system without touching the runner -- register a typed
+config and a builder with the public registry::
+
+    from dataclasses import dataclass
+    from repro.experiments import SystemSpec, register_system
+
+    @dataclass(frozen=True)
+    class MySystemConfig(SystemSpec):
+        kind: str = "my-system"
+        fanout: int = 2
+
+    @register_system("my-system", config=MySystemConfig)
+    def build_my_system(spec, ctx):
+        balancer = ...        # build from spec + ctx (env, network, regions)
+        ctx.attach(balancer)  # wire replicas, start, register with DNS
+        return [balancer]
+
+After registration ``"my-system"`` works everywhere a built-in kind does:
+``run_experiment``, ``run_sweep`` and the legacy shim.  The
+``skywalker-hybrid`` system (``repro.experiments.hybrid``) is exactly such
+a plugin.
+
+Deprecation note: the grab-bag ``SystemConfig(kind=...)`` dataclass remains
+fully supported as a thin shim -- it resolves to the registered typed config
+via ``SystemConfig.resolve()`` -- but new code should prefer the typed
+configs (``SkyWalkerConfig``, ``GatewayConfig``, ``CentralizedConfig``, ...)
+or ``REGISTRY.spec(kind, **overrides)``.
 
 Sub-packages
 ------------

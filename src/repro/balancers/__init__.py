@@ -1,5 +1,11 @@
-"""Baseline load balancers the paper compares SkyWalker against (§5.1)."""
+"""Baseline load balancers the paper compares SkyWalker against (§5.1).
 
+Every balancer here implements the :class:`repro.core.interface.Balancer`
+protocol on top of :class:`repro.core.interface.BalancerBase`, which is
+re-exported for convenience.
+"""
+
+from ..core.interface import Balancer, BalancerBase
 from .base import CentralizedBalancer
 from .consistent_hash import ConsistentHashBalancer
 from .gateway import GatewayBalancer
@@ -8,6 +14,8 @@ from .round_robin import RoundRobinBalancer
 from .sglang_router import SGLangRouterBalancer
 
 __all__ = [
+    "Balancer",
+    "BalancerBase",
     "CentralizedBalancer",
     "RoundRobinBalancer",
     "LeastLoadBalancer",

@@ -5,119 +5,35 @@ Robin, Least Load, Consistent Hashing and the SGLang Router -- are all
 *centralized*: one balancer instance (deployed in the US region in the
 paper's experiments) manages every replica in every region and pushes each
 request to a replica immediately on arrival (blind pushing).  The
-:class:`CentralizedBalancer` base class implements that shared behaviour;
-subclasses only override the replica-selection function.
+:class:`CentralizedBalancer` base class implements that shared behaviour on
+top of :class:`~repro.core.interface.BalancerBase`; subclasses only override
+the replica-selection function.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import List
 
-from ..network import Network
+from ..core.interface import BalancerBase
 from ..replica import ReplicaServer
-from ..sim import Environment, Interrupt, Store
-from ..workloads.request import Request, RequestStatus
+from ..workloads.request import Request
 
 __all__ = ["CentralizedBalancer"]
 
 
-class CentralizedBalancer:
+class CentralizedBalancer(BalancerBase):
     """A single global load balancer using blind pushing.
 
     Subclasses implement :meth:`select_replica`.  The balancer tracks the
     number of outstanding requests it has sent to each replica (incremented
     at dispatch, decremented when the replica reports completion), which is
     the information the Least Load and SGLang Router policies rely on.
+
+    When no replica is healthy (only possible in failure tests) requests are
+    parked in arrival order and drained FIFO as soon as a replica recovers;
+    see :meth:`BalancerBase._serve`.
     """
 
-    def __init__(
-        self,
-        env: Environment,
-        name: str,
-        region: str,
-        network: Network,
-    ) -> None:
-        self.env = env
-        self.name = name
-        self.region = region
-        self.network = network
-        self.inbox: Store = Store(env)
-        self.healthy = True
-        self._replicas: Dict[str, ReplicaServer] = {}
-        self.outstanding: Dict[str, int] = {}
-        self._process = None
-
-        # Statistics.
-        self.received_requests = 0
-        self.dispatched_requests = 0
-
-    # ------------------------------------------------------------------
-    def add_replica(self, replica: ReplicaServer) -> None:
-        self._replicas[replica.name] = replica
-        self.outstanding[replica.name] = 0
-        replica.add_completion_listener(self._on_replica_complete)
-
-    def replicas(self) -> List[ReplicaServer]:
-        return list(self._replicas.values())
-
-    def healthy_replicas(self) -> List[ReplicaServer]:
-        return [replica for replica in self._replicas.values() if replica.healthy]
-
-    def start(self) -> None:
-        if self._process is None:
-            self._process = self.env.process(self._serve())
-
-    # ------------------------------------------------------------------
-    @property
-    def queue_size(self) -> int:
-        return len(self.inbox.items)
-
-    def _on_replica_complete(self, request: Request) -> None:
-        name = request.replica_name
-        if name in self.outstanding and self.outstanding[name] > 0:
-            self.outstanding[name] -= 1
-
-    # ------------------------------------------------------------------
     def select_replica(self, request: Request, candidates: List[ReplicaServer]) -> ReplicaServer:
         """Pick the replica this request should run on (policy hook)."""
         raise NotImplementedError
-
-    # ------------------------------------------------------------------
-    def _serve(self):
-        env = self.env
-        try:
-            while True:
-                request = yield self.inbox.get()
-                self.received_requests += 1
-                if request.lb_arrival_time is None:
-                    request.lb_arrival_time = env.now
-                request.status = RequestStatus.QUEUED_AT_LB
-                if request.ingress_region is None:
-                    request.ingress_region = self.region
-                candidates = self.healthy_replicas()
-                if not candidates:
-                    # No replica alive anywhere: drop back into the inbox and
-                    # retry shortly (extremely rare, only in failure tests).
-                    yield env.timeout(0.1)
-                    yield self.inbox.put(request)
-                    continue
-                replica = self.select_replica(request, candidates)
-                self._dispatch(request, replica)
-        except Interrupt:
-            return
-
-    def _dispatch(self, request: Request, replica: ReplicaServer) -> None:
-        now = self.env.now
-        request.lb_dispatch_time = now
-        request.serving_region = replica.region
-        request.replica_name = replica.name
-        request.status = RequestStatus.PENDING_AT_REPLICA
-        request.response_network_delay = self.network.topology.one_way(
-            replica.region, request.region
-        )
-        self.outstanding[replica.name] = self.outstanding.get(replica.name, 0) + 1
-        self.network.deliver(request, self.region, replica.region, replica.inbox)
-        self.dispatched_requests += 1
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"<{type(self).__name__} {self.name} replicas={len(self._replicas)}>"

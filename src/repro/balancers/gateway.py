@@ -14,15 +14,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..core.interface import BalancerBase
 from ..network import Network
 from ..replica import ReplicaServer
-from ..sim import Environment, Interrupt, Store
-from ..workloads.request import Request, RequestStatus
+from ..sim import Environment
+from ..workloads.request import Request
 
 __all__ = ["GatewayBalancer"]
 
 
-class GatewayBalancer:
+class GatewayBalancer(BalancerBase):
     """One per-region gateway of a multi-cluster (multi-region) deployment.
 
     Parameters
@@ -41,42 +42,17 @@ class GatewayBalancer:
         *,
         spill_threshold: float = 16.0,
     ) -> None:
-        self.env = env
-        self.name = name
-        self.region = region
-        self.network = network
+        super().__init__(env, name, region, network)
         self.spill_threshold = spill_threshold
-        self.inbox: Store = Store(env)
-        self.healthy = True
         #: cluster (region name) -> replicas in that cluster
         self._clusters: Dict[str, List[ReplicaServer]] = {}
-        self.outstanding: Dict[str, int] = {}
         self._cursors: Dict[str, int] = {}
-        self._process = None
-
-        self.received_requests = 0
-        self.dispatched_requests = 0
         self.spilled_requests = 0
 
     # ------------------------------------------------------------------
-    def add_replica(self, replica: ReplicaServer) -> None:
+    def _register_replica(self, replica: ReplicaServer) -> None:
         self._clusters.setdefault(replica.region, []).append(replica)
-        self.outstanding[replica.name] = 0
         self._cursors.setdefault(replica.region, 0)
-        replica.add_completion_listener(self._on_replica_complete)
-
-    def start(self) -> None:
-        if self._process is None:
-            self._process = self.env.process(self._serve())
-
-    @property
-    def queue_size(self) -> int:
-        return len(self.inbox.items)
-
-    def _on_replica_complete(self, request: Request) -> None:
-        name = request.replica_name
-        if name in self.outstanding and self.outstanding[name] > 0:
-            self.outstanding[name] -= 1
 
     # ------------------------------------------------------------------
     def _cluster_load(self, region: str) -> float:
@@ -111,44 +87,17 @@ class GatewayBalancer:
         return replica
 
     # ------------------------------------------------------------------
-    def _serve(self):
-        env = self.env
-        try:
-            while True:
-                request = yield self.inbox.get()
-                self.received_requests += 1
-                if request.lb_arrival_time is None:
-                    request.lb_arrival_time = env.now
-                request.status = RequestStatus.QUEUED_AT_LB
-                if request.ingress_region is None:
-                    request.ingress_region = self.region
-                cluster = self._pick_cluster()
-                if cluster is None:
-                    yield env.timeout(0.1)
-                    yield self.inbox.put(request)
-                    continue
-                replica = self._pick_replica(cluster)
-                if replica is None:
-                    yield env.timeout(0.1)
-                    yield self.inbox.put(request)
-                    continue
-                if cluster != self.region:
-                    self.spilled_requests += 1
-                self._dispatch(request, replica)
-        except Interrupt:
-            return
+    def select_replica(
+        self, request: Request, candidates: List[ReplicaServer]
+    ) -> Optional[ReplicaServer]:
+        cluster = self._pick_cluster()
+        if cluster is None:
+            return None
+        return self._pick_replica(cluster)
 
-    def _dispatch(self, request: Request, replica: ReplicaServer) -> None:
-        request.lb_dispatch_time = self.env.now
-        request.serving_region = replica.region
-        request.replica_name = replica.name
-        request.status = RequestStatus.PENDING_AT_REPLICA
-        request.response_network_delay = self.network.topology.one_way(
-            replica.region, request.region
-        )
-        self.outstanding[replica.name] = self.outstanding.get(replica.name, 0) + 1
-        self.network.deliver(request, self.region, replica.region, replica.inbox)
-        self.dispatched_requests += 1
+    def _note_dispatch(self, request: Request, replica: ReplicaServer) -> None:
+        if replica.region != self.region:
+            self.spilled_requests += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         clusters = {region: len(reps) for region, reps in self._clusters.items()}

@@ -17,6 +17,13 @@ from .availability import AvailabilityMonitor, LoadBalancerProbe
 from .balancer import ROUTING_CONSISTENT_HASH, ROUTING_PREFIX_TREE, SkyWalkerBalancer
 from .controller import FailoverRecord, ServiceController
 from .hash_ring import ConsistentHashRing
+from .interface import Balancer, BalancerBase
+from .selection import (
+    ConsistentHashSelection,
+    PrefixTreeSelection,
+    SelectionPolicy,
+    make_selection_policy,
+)
 from .policies import (
     AllowAll,
     CompositeConstraint,
@@ -36,9 +43,15 @@ from .pushing import (
 )
 
 __all__ = [
+    "Balancer",
+    "BalancerBase",
     "SkyWalkerBalancer",
     "ROUTING_PREFIX_TREE",
     "ROUTING_CONSISTENT_HASH",
+    "SelectionPolicy",
+    "PrefixTreeSelection",
+    "ConsistentHashSelection",
+    "make_selection_policy",
     "AvailabilityMonitor",
     "LoadBalancerProbe",
     "ServiceController",

@@ -8,9 +8,12 @@ each request either
 * forwards it to an *available* remote load balancer (cross-region traffic
   handling, §3.1), which then places it on one of its local replicas.
 
-Candidate selection is prefix-aware (§3.2) using either the regional prefix
-trees (``routing="prefix_tree"``, the full SkyWalker design) or two-layer
-consistent hashing (``routing="consistent_hash"``, SkyWalker-CH).
+Candidate selection is a plug-in (:mod:`repro.core.selection`): the
+prefix-tree policy (``routing="prefix_tree"``, the full SkyWalker design),
+two-layer consistent hashing (``routing="consistent_hash"``, SkyWalker-CH),
+or any custom :class:`~repro.core.selection.SelectionPolicy` passed via
+``selection_policy``.  Pushing policies and routing constraints are equally
+orthogonal plug-ins.
 """
 
 from __future__ import annotations
@@ -20,13 +23,15 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from ..network import Network
 from ..replica import ReplicaServer
-from ..sim import Environment, Interrupt, Store
+from ..sim import Environment, Interrupt
 from ..workloads.request import Request, RequestStatus
 from .availability import AvailabilityMonitor
 from .hash_ring import ConsistentHashRing
+from .interface import BalancerBase
 from .policies import AllowAll, RoutingConstraint
 from .prefix_tree import PrefixTree
 from .pushing import PushingPolicy, SelectivePushingPending
+from .selection import SelectionPolicy, make_selection_policy
 
 __all__ = ["SkyWalkerBalancer", "ROUTING_PREFIX_TREE", "ROUTING_CONSISTENT_HASH"]
 
@@ -39,13 +44,18 @@ def _default_hash_key(request: Request) -> str:
     return request.session_id
 
 
-class SkyWalkerBalancer:
+class SkyWalkerBalancer(BalancerBase):
     """A regional load balancer participating in SkyWalker's two-layer design.
 
     Parameters
     ----------
     routing:
         ``"prefix_tree"`` (SkyWalker) or ``"consistent_hash"`` (SkyWalker-CH).
+        Shorthand for the corresponding built-in selection policy.
+    selection_policy:
+        Explicit :class:`~repro.core.selection.SelectionPolicy` instance;
+        overrides ``routing``.  This is how third-party systems plug in
+        custom candidate selection without subclassing.
     pushing_policy:
         Selective-pushing policy; defaults to pending-request based SP-P.
     prefix_match_threshold:
@@ -69,6 +79,7 @@ class SkyWalkerBalancer:
         network: Network,
         *,
         routing: str = ROUTING_PREFIX_TREE,
+        selection_policy: Optional[SelectionPolicy] = None,
         pushing_policy: Optional[PushingPolicy] = None,
         probe_interval_s: float = 0.1,
         prefix_match_threshold: float = 0.5,
@@ -80,13 +91,9 @@ class SkyWalkerBalancer:
         balance_abs_threshold: int = 8,
         balance_rel_threshold: float = 1.5,
     ) -> None:
-        if routing not in (ROUTING_PREFIX_TREE, ROUTING_CONSISTENT_HASH):
-            raise ValueError(f"unknown routing policy {routing!r}")
-        self.env = env
-        self.name = name
-        self.region = region
-        self.network = network
-        self.routing = routing
+        super().__init__(env, name, region, network)
+        self.selection = selection_policy or make_selection_policy(routing)
+        self.routing = self.selection.routing
         self.pushing_policy = pushing_policy or SelectivePushingPending()
         self.prefix_match_threshold = prefix_match_threshold
         self.allow_remote = allow_remote
@@ -99,7 +106,6 @@ class SkyWalkerBalancer:
         self.balance_abs_threshold = balance_abs_threshold
         self.balance_rel_threshold = balance_rel_threshold
 
-        self.inbox: Store = Store(env)
         #: Requests accepted from the inbox but not yet placed (FCFS).
         self.queue: Deque[Request] = deque()
         self.monitor = AvailabilityMonitor(
@@ -116,15 +122,11 @@ class SkyWalkerBalancer:
         self.replica_ring: ConsistentHashRing[str] = ConsistentHashRing()
         self.balancer_ring: ConsistentHashRing[str] = ConsistentHashRing()
 
-        self._replicas: Dict[str, ReplicaServer] = {}
         self._peers: Dict[str, "SkyWalkerBalancer"] = {}
-        self.healthy = True
-        self._process = None
         #: Requests left behind by a failure, pending controller re-routing.
         self.stranded: List[Request] = []
 
         # Statistics.
-        self.received_requests = 0
         self.received_forwards = 0
         self.local_dispatches = 0
         self.remote_forwards = 0
@@ -133,14 +135,19 @@ class SkyWalkerBalancer:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def add_replica(self, replica: ReplicaServer) -> None:
+    def _register_replica(self, replica: ReplicaServer) -> None:
         """Attach a replica this balancer manages as local."""
-        self._replicas[replica.name] = replica
         self.monitor.add_local_replica(replica)
         self.replica_ring.add_target(replica.name)
 
     def remove_replica(self, replica_name: str) -> Optional[ReplicaServer]:
         replica = self._replicas.pop(replica_name, None)
+        if replica is not None:
+            # Detach our listeners so fail/recover cycles (controller
+            # takeovers) don't stack duplicates on the replica.
+            replica.remove_completion_listener(self._on_replica_complete)
+            replica.remove_health_listener(self._on_replica_health)
+        self.outstanding.pop(replica_name, None)
         self.monitor.remove_local_replica(replica_name)
         self.replica_ring.remove_target(replica_name)
         self.replica_trie.remove_target(replica_name)
@@ -169,8 +176,7 @@ class SkyWalkerBalancer:
     def start(self) -> None:
         """Start the availability monitor and the serving loop."""
         self.monitor.start()
-        if self._process is None:
-            self._process = self.env.process(self._serve())
+        super().start()
 
     # ------------------------------------------------------------------
     # state advertised to peers (read by their probes)
@@ -223,7 +229,6 @@ class SkyWalkerBalancer:
     # serving loop (HANDLEREQUEST in Algorithm 1)
     # ------------------------------------------------------------------
     def _serve(self):
-        env = self.env
         try:
             while True:
                 if not self.queue:
@@ -240,14 +245,9 @@ class SkyWalkerBalancer:
             return
 
     def _accept(self, request: Request) -> None:
-        self.received_requests += 1
+        super()._accept(request)
         if request.forward_hops > 0:
             self.received_forwards += 1
-        if request.lb_arrival_time is None:
-            request.lb_arrival_time = self.env.now
-        request.status = RequestStatus.QUEUED_AT_LB
-        if request.ingress_region is None:
-            request.ingress_region = self.region
         self.queue.append(request)
 
     def _place(self, request: Request):
@@ -290,85 +290,59 @@ class SkyWalkerBalancer:
     # candidate selection (SELECTCANDIDATE in Algorithm 1)
     # ------------------------------------------------------------------
     def _select_replica(self, request: Request, candidates: List[ReplicaServer]) -> ReplicaServer:
-        by_name = {replica.name: replica for replica in candidates}
-        if self.routing == ROUTING_CONSISTENT_HASH:
-            chosen = self.replica_ring.lookup(self.hash_key_fn(request), by_name.keys())
-            if chosen is not None:
-                return by_name[chosen]
-            return self._least_loaded(candidates)
-        match = self.replica_trie.best_target(request.prompt_tokens, by_name.keys())
-        if match.target is not None and match.hit_ratio >= self.prefix_match_threshold:
-            preferred = by_name[match.target]
-            if not self._severely_imbalanced(preferred, candidates):
-                return preferred
-        # Low prefix affinity (or a badly overloaded favourite): spread load
-        # over the available replicas instead.
-        return self._least_loaded(candidates)
+        return self.selection.select_replica(self, request, candidates)
 
-    def _estimated_load(self, replica: ReplicaServer) -> int:
+    def _select_balancer(
+        self, request: Request, candidates: List["SkyWalkerBalancer"]
+    ) -> "SkyWalkerBalancer":
+        return self.selection.select_balancer(self, request, candidates)
+
+    # ------------------------------------------------------------------
+    # load estimates shared with the selection policies
+    # ------------------------------------------------------------------
+    def estimated_load(self, replica: ReplicaServer) -> int:
         probe = self.monitor.replica_probes.get(replica.name)
         outstanding = probe.num_outstanding if probe else 0
         return outstanding + self.monitor._dispatched_since_probe.get(replica.name, 0)
 
-    def _severely_imbalanced(self, preferred: ReplicaServer, candidates: List[ReplicaServer]) -> bool:
+    def severely_imbalanced(
+        self, preferred: ReplicaServer, candidates: List[ReplicaServer]
+    ) -> bool:
         """Is the prefix-preferred replica much busier than the lightest one?"""
-        preferred_load = self._estimated_load(preferred)
-        lightest = min(self._estimated_load(replica) for replica in candidates)
+        preferred_load = self.estimated_load(preferred)
+        lightest = min(self.estimated_load(replica) for replica in candidates)
         return (
             preferred_load > self.balance_abs_threshold
             and preferred_load > self.balance_rel_threshold * max(lightest, 1)
         )
 
-    def _select_balancer(
-        self, request: Request, candidates: List["SkyWalkerBalancer"]
-    ) -> "SkyWalkerBalancer":
-        by_name = {peer.name: peer for peer in candidates}
-        if self.routing == ROUTING_CONSISTENT_HASH:
-            chosen = self.balancer_ring.lookup(self.hash_key_fn(request), by_name.keys())
-            if chosen is not None:
-                return by_name[chosen]
-        else:
-            match = self.snapshot_trie.best_target(request.prompt_tokens, by_name.keys())
-            if match.target is not None and match.hit_ratio >= self.prefix_match_threshold:
-                return by_name[match.target]
-        # No prefix affinity anywhere: prefer the peer with the most free
-        # capacity, breaking ties by proximity.
-        def free_capacity(peer: "SkyWalkerBalancer") -> tuple:
-            probe = self.monitor.balancer_probes.get(peer.name)
-            available = probe.num_available_replicas if probe else 0
-            latency = self.network.topology.one_way(self.region, peer.region)
-            return (-available, latency)
-
-        return min(candidates, key=free_capacity)
-
-    def _least_loaded(self, candidates: List[ReplicaServer]) -> ReplicaServer:
+    def least_loaded(self, candidates: List[ReplicaServer]) -> ReplicaServer:
         return min(
             candidates,
-            key=lambda replica: (self._estimated_load(replica), replica.name),
+            key=lambda replica: (self.estimated_load(replica), replica.name),
         )
+
+    # Backwards-compatible private aliases (pre-registry API).
+    _estimated_load = estimated_load
+    _severely_imbalanced = severely_imbalanced
+    _least_loaded = least_loaded
 
     # ------------------------------------------------------------------
     # routing actions
     # ------------------------------------------------------------------
     def _dispatch_local(self, request: Request, replica: ReplicaServer) -> None:
-        now = self.env.now
-        request.lb_dispatch_time = now
-        request.serving_region = self.region
-        request.replica_name = replica.name
-        request.status = RequestStatus.PENDING_AT_REPLICA
-        request.response_network_delay = self.network.topology.one_way(
-            replica.region, request.region
-        )
-        if self.routing == ROUTING_PREFIX_TREE:
+        self._dispatch(request, replica)
+        self.local_dispatches += 1
+
+    def _note_dispatch(self, request: Request, replica: ReplicaServer) -> None:
+        if self.selection.maintains_prefix_trees:
             self.replica_trie.insert(request.prompt_tokens, replica.name)
         self.monitor.note_dispatch(replica.name)
-        self.network.deliver(request, self.region, replica.region, replica.inbox)
-        self.local_dispatches += 1
 
     def _forward_remote(self, request: Request, peer: "SkyWalkerBalancer") -> None:
         request.forward_hops += 1
         request.status = RequestStatus.FORWARDED
-        if self.routing == ROUTING_PREFIX_TREE:
+        if self.selection.maintains_prefix_trees:
             # The regional snapshot tracks the prompts this region has sent
             # to each remote region (§3.2).
             self.snapshot_trie.insert(request.prompt_tokens, peer.name)

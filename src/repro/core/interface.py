@@ -1,0 +1,243 @@
+"""The unified load-balancer interface shared by every balancer family.
+
+Historically each balancer family -- the centralized §5.1 baselines, the
+GKE-Gateway baseline and SkyWalker itself -- re-implemented the same
+plumbing: an inbox, health state, replica registration, outstanding-request
+accounting and the final "stamp the request and hand it to the network"
+dispatch step.  This module extracts that plumbing into two pieces:
+
+* :class:`Balancer` -- a :class:`typing.Protocol` describing what the rest
+  of the stack (frontend, controller, experiment runner, registry) may rely
+  on: lifecycle (``start``/``stop``), wiring (``add_replica``,
+  ``submit``), health and queue observability.
+* :class:`BalancerBase` -- a concrete base class implementing the shared
+  machinery, including the common ``_dispatch`` path and FIFO parking for
+  the no-healthy-replica case (requests wait in arrival order and drain as
+  soon as a replica recovers instead of being re-queued behind newer
+  arrivals).
+
+Policy decisions (which replica, which region, when to push) stay in the
+subclasses and their plug-in policy objects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..network import Network
+from ..replica import ReplicaServer
+from ..sim import Environment, Event, Interrupt, Store
+from ..workloads.request import Request, RequestStatus
+
+__all__ = ["Balancer", "BalancerBase"]
+
+
+@runtime_checkable
+class Balancer(Protocol):
+    """Anything the stack can treat as a load balancer.
+
+    The frontend needs ``name``/``region``/``inbox`` to deliver requests,
+    the controller needs ``healthy`` and the lifecycle methods, and the
+    registry builders need ``add_replica``/``start``.
+    """
+
+    name: str
+    region: str
+    healthy: bool
+
+    @property
+    def inbox(self) -> Store:  # pragma: no cover - protocol definition only
+        ...
+
+    @property
+    def queue_size(self) -> int:  # pragma: no cover - protocol definition only
+        ...
+
+    def add_replica(self, replica: ReplicaServer) -> None:  # pragma: no cover
+        ...
+
+    def submit(self, request: Request):  # pragma: no cover
+        ...
+
+    def healthy_replicas(self) -> List[ReplicaServer]:  # pragma: no cover
+        ...
+
+    def start(self) -> None:  # pragma: no cover
+        ...
+
+    def stop(self) -> None:  # pragma: no cover
+        ...
+
+
+class BalancerBase:
+    """Shared state and behaviour for every balancer implementation.
+
+    Subclasses provide a serving loop (the default one calls
+    :meth:`select_replica`) and may hook :meth:`_register_replica` (extra
+    per-replica wiring) and :meth:`_note_dispatch` (routing-state updates on
+    the common dispatch path).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        network: Network,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.region = region
+        self.network = network
+        self.inbox: Store = Store(env)
+        self.healthy = True
+        self._replicas: Dict[str, ReplicaServer] = {}
+        self.outstanding: Dict[str, int] = {}
+        self._process = None
+        #: Requests accepted while no replica was healthy, in arrival order.
+        self._parked: Deque[Request] = deque()
+        self._replica_available_event: Optional[Event] = None
+
+        # Statistics.
+        self.received_requests = 0
+        self.dispatched_requests = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def add_replica(self, replica: ReplicaServer) -> None:
+        if replica.name in self._replicas:
+            return
+        self._replicas[replica.name] = replica
+        self.outstanding[replica.name] = 0
+        replica.add_completion_listener(self._on_replica_complete)
+        replica.add_health_listener(self._on_replica_health)
+        self._register_replica(replica)
+        if replica.healthy:
+            self._signal_replica_available()
+
+    def _register_replica(self, replica: ReplicaServer) -> None:
+        """Subclass hook: extra wiring when a replica is attached."""
+
+    def replicas(self) -> List[ReplicaServer]:
+        return list(self._replicas.values())
+
+    def healthy_replicas(self) -> List[ReplicaServer]:
+        return [replica for replica in self._replicas.values() if replica.healthy]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.env.process(self._serve())
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("balancer-stop")
+        self._process = None
+
+    def submit(self, request: Request):
+        """Hand a request to this balancer (returns the store-put event)."""
+        return self.inbox.put(request)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def queue_size(self) -> int:
+        return len(self.inbox.items) + len(self._parked)
+
+    def _on_replica_complete(self, request: Request) -> None:
+        name = request.replica_name
+        if name in self.outstanding and self.outstanding[name] > 0:
+            self.outstanding[name] -= 1
+
+    # ------------------------------------------------------------------
+    # no-healthy-replica parking
+    # ------------------------------------------------------------------
+    def _on_replica_health(self, replica: ReplicaServer) -> None:
+        if replica.healthy:
+            self._signal_replica_available()
+
+    def _signal_replica_available(self) -> None:
+        event = self._replica_available_event
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def _wait_for_replica(self) -> Event:
+        """An event triggered the next time a replica becomes available."""
+        if self._replica_available_event is None or self._replica_available_event.triggered:
+            self._replica_available_event = self.env.event()
+        return self._replica_available_event
+
+    def _park(self, request: Request) -> None:
+        self._parked.append(request)
+
+    # ------------------------------------------------------------------
+    # serving loop
+    # ------------------------------------------------------------------
+    def _accept(self, request: Request) -> None:
+        """Bookkeeping common to every balancer when a request arrives."""
+        self.received_requests += 1
+        if request.lb_arrival_time is None:
+            request.lb_arrival_time = self.env.now
+        request.status = RequestStatus.QUEUED_AT_LB
+        if request.ingress_region is None:
+            request.ingress_region = self.region
+
+    def select_replica(
+        self, request: Request, candidates: List[ReplicaServer]
+    ) -> Optional[ReplicaServer]:
+        """Pick the replica this request should run on (policy hook)."""
+        raise NotImplementedError
+
+    def _serve(self):
+        """Default serving loop: accept, select, dispatch.
+
+        When no replica can take a request it is *parked* (in FIFO order)
+        rather than re-queued behind newer arrivals, and the loop sleeps on
+        a health-change event instead of busy-polling.  Parked requests
+        drain before anything still sitting in the inbox, preserving
+        arrival order across a full outage.
+        """
+        try:
+            while True:
+                if self._parked and self.healthy_replicas():
+                    request = self._parked.popleft()
+                else:
+                    request = yield self.inbox.get()
+                    self._accept(request)
+                candidates = self.healthy_replicas()
+                replica = self.select_replica(request, candidates) if candidates else None
+                if replica is None:
+                    self._park(request)
+                    yield self._wait_for_replica()
+                    continue
+                self._dispatch(request, replica)
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # the common dispatch path
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: Request, replica: ReplicaServer) -> None:
+        """Stamp routing metadata on the request and send it to ``replica``."""
+        request.lb_dispatch_time = self.env.now
+        request.serving_region = replica.region
+        request.replica_name = replica.name
+        request.status = RequestStatus.PENDING_AT_REPLICA
+        request.response_network_delay = self.network.topology.one_way(
+            replica.region, request.region
+        )
+        self.outstanding[replica.name] = self.outstanding.get(replica.name, 0) + 1
+        self._note_dispatch(request, replica)
+        self.network.deliver(request, self.region, replica.region, replica.inbox)
+        self.dispatched_requests += 1
+
+    def _note_dispatch(self, request: Request, replica: ReplicaServer) -> None:
+        """Subclass hook: update routing state on the dispatch path."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name} replicas={len(self._replicas)}>"

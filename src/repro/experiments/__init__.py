@@ -1,4 +1,11 @@
-"""Experiment scenarios and runners for every figure in the paper's evaluation."""
+"""Experiment scenarios and runners for every figure in the paper's evaluation.
+
+Systems are built through the pluggable registry (:mod:`.registry`): each
+balancer family registers a builder and a typed config via
+``@register_system``, and new systems (e.g. :mod:`.hybrid`'s
+``skywalker-hybrid``) plug in without touching the runner.  The legacy
+``SystemConfig(kind=...)`` shim remains supported.
+"""
 
 from .config import (
     ALL_SYSTEMS,
@@ -18,10 +25,22 @@ from .hitrate import (
     evaluate_hit_rates,
     run_hitrate_benchmark,
 )
+from .hybrid import HybridSelection, SkyWalkerHybridConfig
 from .imbalance import ImbalanceResult, run_imbalance_experiment
 from .macro import MacroResult, default_macro_cluster, run_macro_benchmark
 from .pushing import PushingResult, build_single_region_tot_workload, run_pushing_benchmark
-from .runner import ExperimentResult, build_system, run_experiment
+from .registry import (
+    REGISTRY,
+    BuildContext,
+    SystemEntry,
+    SystemRegistry,
+    SystemSpec,
+    build_regional_mesh,
+    register_system,
+    registered_system_kinds,
+)
+from .runner import ExperimentResult, SweepResult, build_system, run_experiment, run_sweep
+from .systems import CentralizedConfig, GatewayConfig, SkyWalkerConfig
 from .workloads import (
     MACRO_WORKLOAD_BUILDERS,
     build_arena_workload,
@@ -31,6 +50,22 @@ from .workloads import (
 )
 
 __all__ = [
+    # registry API
+    "REGISTRY",
+    "SystemRegistry",
+    "SystemEntry",
+    "SystemSpec",
+    "BuildContext",
+    "register_system",
+    "registered_system_kinds",
+    "build_regional_mesh",
+    # typed system configs
+    "CentralizedConfig",
+    "GatewayConfig",
+    "SkyWalkerConfig",
+    "SkyWalkerHybridConfig",
+    "HybridSelection",
+    # configuration
     "SystemConfig",
     "ClusterConfig",
     "WorkloadSpec",
@@ -38,8 +73,11 @@ __all__ = [
     "SYSTEM_KINDS",
     "BASELINE_SYSTEMS",
     "ALL_SYSTEMS",
+    # runners
     "ExperimentResult",
+    "SweepResult",
     "run_experiment",
+    "run_sweep",
     "build_system",
     "MacroResult",
     "run_macro_benchmark",

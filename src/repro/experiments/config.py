@@ -2,23 +2,33 @@
 
 Every end-to-end run is described by three pieces:
 
-* a :class:`SystemConfig` -- which load-balancing system to build (SkyWalker,
-  SkyWalker-CH, or one of the §5.1 baselines) and its knobs,
+* a *system* description -- either a typed spec from the system registry
+  (:class:`~repro.experiments.registry.SystemSpec` subclasses such as
+  ``SkyWalkerConfig`` or ``GatewayConfig``) or the legacy
+  :class:`SystemConfig` shim,
 * a :class:`ClusterConfig` -- how many replicas per region and which model
   profile they run, and
 * a :class:`WorkloadSpec` -- the programs each region's clients execute.
 
 Keeping the description declarative lets the benchmark harness sweep systems
 and workloads without duplicating wiring code.
+
+.. deprecated::
+    :class:`SystemConfig` (the single grab-bag ``kind=...`` dataclass) is a
+    compatibility shim over the system registry.  New code should use the
+    registered typed configs (``repro.experiments.systems`` /
+    ``REGISTRY.spec(kind, ...)``); ``SystemConfig`` remains supported and
+    simply resolves through :meth:`SystemConfig.resolve`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..replica import LLAMA_8B_L4, ModelProfile
 from ..workloads.program import Program
+from .registry import REGISTRY, SystemSpec
 
 __all__ = [
     "SystemConfig",
@@ -30,7 +40,9 @@ __all__ = [
     "ALL_SYSTEMS",
 ]
 
-#: Every system kind the runner knows how to build.
+#: The seed catalogue of system kinds (the paper's §5.1 line-up).  The
+#: authoritative, extensible list lives in the system registry --
+#: see :func:`repro.experiments.registry.registered_system_kinds`.
 SYSTEM_KINDS = (
     "gke-gateway",
     "round-robin",
@@ -57,7 +69,15 @@ ALL_SYSTEMS = BASELINE_SYSTEMS + ("skywalker-ch", "skywalker")
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Which balancer architecture to build and how to configure it."""
+    """Which balancer architecture to build and how to configure it.
+
+    .. deprecated::
+        Legacy shim kept so existing benchmarks/examples/tests run
+        unchanged.  The union of every system's knobs lives here; the
+        registry's typed configs split them per system.  ``kind`` may be any
+        *registered* system kind -- including ones added by plugins such as
+        ``"skywalker-hybrid"`` -- not just the seed :data:`SYSTEM_KINDS`.
+    """
 
     kind: str
     label: Optional[str] = None
@@ -77,14 +97,20 @@ class SystemConfig:
     gateway_spill_threshold: float = 16.0
 
     def __post_init__(self) -> None:
-        if self.kind not in SYSTEM_KINDS:
-            raise ValueError(f"unknown system kind {self.kind!r}; expected one of {SYSTEM_KINDS}")
+        if self.kind not in REGISTRY:
+            raise ValueError(
+                f"unknown system kind {self.kind!r}; expected one of {REGISTRY.names()}"
+            )
         if self.hash_key not in ("user", "session"):
             raise ValueError("hash_key must be 'user' or 'session'")
 
     @property
     def name(self) -> str:
         return self.label or self.kind
+
+    def resolve(self) -> SystemSpec:
+        """The registered typed spec equivalent to this legacy config."""
+        return REGISTRY.spec_from_legacy(self)
 
 
 @dataclass(frozen=True)
@@ -126,12 +152,34 @@ class WorkloadSpec:
             for program in programs
         )
 
+    def fresh_copy(self) -> "WorkloadSpec":
+        """A copy with pristine programs/requests, safe to run again.
+
+        Requests are mutable (timestamps, routing state), so a workload that
+        has been through ``run_experiment`` cannot be reused directly; this
+        is what lets ``run_sweep`` build a workload once and replay it
+        across every system variant.
+        """
+        return WorkloadSpec(
+            name=self.name,
+            programs_by_region={
+                region: [program.clone() for program in programs]
+                for region, programs in self.programs_by_region.items()
+            },
+            clients_per_region=dict(self.clients_per_region),
+            hash_key=self.hash_key,
+        )
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """A complete end-to-end run description."""
+    """A complete end-to-end run description.
 
-    system: SystemConfig
+    ``system`` accepts either a registry-typed spec (preferred) or the
+    legacy :class:`SystemConfig` shim.
+    """
+
+    system: Union[SystemConfig, SystemSpec]
     cluster: ClusterConfig
     duration_s: float = 120.0
     seed: int = 0

@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..metrics import RunMetrics
-from .config import ALL_SYSTEMS, ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
-from .runner import run_experiment
+from .config import ALL_SYSTEMS, ClusterConfig
+from .registry import REGISTRY
+from .runner import run_sweep
 from .workloads import MACRO_WORKLOAD_BUILDERS
 
 __all__ = ["MacroResult", "run_macro_benchmark", "default_macro_cluster"]
@@ -83,20 +84,24 @@ def run_macro_benchmark(
     cluster: Optional[ClusterConfig] = None,
     seed: int = 0,
 ) -> MacroResult:
-    """Run the Fig. 8 sweep and return all metrics."""
+    """Run the Fig. 8 sweep and return all metrics.
+
+    Each workload is generated once and replayed across every system via
+    ``run_sweep`` (fresh request state per run, identical traffic).
+    """
     cluster = cluster or default_macro_cluster(scale)
+    specs = [REGISTRY.spec(kind) for kind in systems]
     result = MacroResult()
     for workload_name in workloads:
-        builder = MACRO_WORKLOAD_BUILDERS[workload_name]
-        for system_kind in systems:
-            workload = builder(scale=scale, seed=seed)
-            system = SystemConfig(kind=system_kind, hash_key=workload.hash_key)
-            config = ExperimentConfig(
-                system=system,
-                cluster=cluster,
-                duration_s=duration_s,
-                seed=seed,
-            )
-            outcome = run_experiment(config, workload)
-            result.add(outcome.metrics)
+        workload = MACRO_WORKLOAD_BUILDERS[workload_name](scale=scale, seed=seed)
+        sweep = run_sweep(
+            specs,
+            [workload],
+            cluster=cluster,
+            duration_s=duration_s,
+            seed=seed,
+        )
+        for row in sweep.runs.values():
+            for metrics in row.values():
+                result.add(metrics)
     return result

@@ -1,0 +1,317 @@
+"""The pluggable system registry: the public API for adding balancer systems.
+
+Instead of a hard-coded if/elif ladder in the experiment runner, every
+load-balancing *system* (a balancer family plus its wiring) registers itself
+with the global :data:`REGISTRY`:
+
+.. code-block:: python
+
+    from repro.experiments.registry import SystemSpec, register_system
+
+    @dataclass(frozen=True)
+    class MySystemConfig(SystemSpec):
+        kind: str = "my-system"
+        fanout: int = 2
+
+    @register_system("my-system", config=MySystemConfig)
+    def build_my_system(spec, ctx):
+        balancer = ...            # create balancer(s) from spec + ctx
+        ctx.attach(balancer)      # add replicas, start, register with DNS
+        return [balancer]
+
+After registration the system is a first-class citizen everywhere: the
+legacy ``SystemConfig(kind="my-system")`` shim accepts it, ``run_experiment``
+builds it, and ``run_sweep`` sweeps it -- with **no** edits to the runner or
+to any central kind enum.
+
+The :class:`BuildContext` hands builders everything they may need (the
+simulation environment, network, deployment, frontend, client regions, the
+resolved hash key) plus helpers for the common wiring patterns: fully-wired
+centralized balancers (:meth:`BuildContext.attach`) and regional balancer
+meshes (:func:`build_regional_mesh`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..cluster import Deployment, Frontend
+from ..core import GDPRConstraint, SameContinentConstraint
+from ..core.interface import Balancer
+from ..network import Network, NetworkTopology
+from ..sim import Environment
+from ..workloads.request import Request
+
+__all__ = [
+    "SystemSpec",
+    "BuildContext",
+    "SystemEntry",
+    "SystemRegistry",
+    "REGISTRY",
+    "register_system",
+    "registered_system_kinds",
+    "build_regional_mesh",
+]
+
+SystemBuilder = Callable[["SystemSpec", "BuildContext"], List[Balancer]]
+
+
+# ----------------------------------------------------------------------
+# typed system configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemSpec:
+    """Base class for every system's typed configuration.
+
+    Subclasses add their own knobs (all defaulted) and set ``kind`` to the
+    registry name they are registered under.  ``hash_key`` is optional: when
+    left ``None`` the workload's natural identity key is used.
+    """
+
+    #: Maps typed field name -> legacy ``SystemConfig`` attribute, for specs
+    #: whose field names differ from the historical grab-bag config.
+    _legacy_aliases: ClassVar[Mapping[str, str]] = {}
+
+    kind: str = ""
+    label: Optional[str] = None
+    #: Consistent-hashing key: "user", "session", or None (= workload's).
+    hash_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.hash_key not in (None, "user", "session"):
+            raise ValueError("hash_key must be 'user', 'session' or None")
+
+    @property
+    def name(self) -> str:
+        """Display name used in metrics rows."""
+        return self.label or self.kind
+
+    @classmethod
+    def from_legacy(cls, legacy: object, kind: str) -> "SystemSpec":
+        """Build a typed spec from a legacy ``SystemConfig``-style object by
+        matching field names (honouring ``_legacy_aliases``).
+
+        ``hash_key`` is deliberately left ``None``: under the legacy
+        precedence the workload's natural key always won over the config's
+        (``SystemConfig.hash_key`` defaults to ``"user"`` and cannot signal
+        "explicitly set"), so copying it would turn the never-effective
+        legacy default into an explicit typed override and change routing.
+        """
+        kwargs = {}
+        for spec_field in fields(cls):
+            if spec_field.name in ("kind", "hash_key"):
+                continue
+            source = cls._legacy_aliases.get(spec_field.name, spec_field.name)
+            if hasattr(legacy, source):
+                kwargs[spec_field.name] = getattr(legacy, source)
+        return cls(kind=kind, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# build context
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BuildContext:
+    """Everything a system builder may need to wire itself into the stack."""
+
+    env: Environment
+    network: Network
+    deployment: Deployment
+    frontend: Frontend
+    client_regions: Tuple[str, ...] = ()
+    #: The resolved consistent-hashing key for this run ("user"/"session").
+    hash_key: str = "user"
+
+    @property
+    def topology(self) -> NetworkTopology:
+        return self.network.topology
+
+    @property
+    def regions(self) -> List[str]:
+        """Every region hosting replicas or clients, sorted."""
+        return sorted(set(self.deployment.regions) | set(self.client_regions))
+
+    def hash_key_fn(self) -> Callable[[Request], str]:
+        """Identity-extraction function for the resolved hash key."""
+        if self.hash_key == "user":
+            return lambda request: request.user_id
+        return lambda request: request.session_id
+
+    def make_constraint(self, constraint: Optional[str]):
+        """Instantiate a named routing constraint (None passes through)."""
+        if constraint is None:
+            return None
+        if constraint == "gdpr":
+            return GDPRConstraint(self.topology)
+        if constraint == "continent":
+            return SameContinentConstraint(self.topology)
+        raise ValueError(f"unknown constraint {constraint!r}")
+
+    def attach(self, balancer: Balancer, *, regions: Optional[Sequence[str]] = None) -> Balancer:
+        """Finish wiring one balancer: add replicas (all of them, or only the
+        listed regions'), start it, and register it with the frontend."""
+        if regions is None:
+            replicas = self.deployment.replicas
+        else:
+            replicas = [r for region in regions for r in self.deployment.replicas_in(region)]
+        for replica in replicas:
+            balancer.add_replica(replica)
+        balancer.start()
+        self.frontend.register_balancer(balancer)
+        return balancer
+
+
+def build_regional_mesh(
+    ctx: BuildContext,
+    make_balancer: Callable[[str], Balancer],
+    *,
+    wire_peers: bool = True,
+) -> List[Balancer]:
+    """Build one balancer per region and wire them into a full mesh.
+
+    ``make_balancer(region)`` creates the (unstarted) balancer for a region;
+    this helper attaches the region's replicas, cross-registers every pair
+    as peers (when ``wire_peers`` and the balancers support ``add_peer``),
+    starts them and registers them with the frontend.  This is the wiring
+    shared by the SkyWalker family and any custom regional system.
+    """
+    balancers = [make_balancer(region) for region in ctx.regions]
+    for balancer in balancers:
+        for replica in ctx.deployment.replicas_in(balancer.region):
+            balancer.add_replica(replica)
+    if wire_peers:
+        for balancer in balancers:
+            add_peer = getattr(balancer, "add_peer", None)
+            if add_peer is None:
+                continue
+            for peer in balancers:
+                if peer is not balancer:
+                    add_peer(peer)
+    for balancer in balancers:
+        balancer.start()
+        ctx.frontend.register_balancer(balancer)
+    return balancers
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemEntry:
+    """One registered system: its name, typed config class and builder."""
+
+    name: str
+    config_cls: type
+    builder: SystemBuilder
+    description: str = ""
+
+
+class SystemRegistry:
+    """Name -> :class:`SystemEntry` mapping with build dispatch."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SystemEntry] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        config: type = SystemSpec,
+        description: str = "",
+        replace_existing: bool = False,
+    ) -> Callable[[SystemBuilder], SystemBuilder]:
+        """Decorator registering ``builder`` under ``name``."""
+
+        def decorator(builder: SystemBuilder) -> SystemBuilder:
+            if name in self._entries and not replace_existing:
+                raise ValueError(f"system {name!r} is already registered")
+            self._entries[name] = SystemEntry(
+                name=name, config_cls=config, builder=builder, description=description
+            )
+            return builder
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    # -- lookup ---------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        self._ensure_builtins()
+        return name in self._entries
+
+    def names(self) -> Tuple[str, ...]:
+        self._ensure_builtins()
+        return tuple(self._entries)
+
+    def get(self, name: str) -> SystemEntry:
+        self._ensure_builtins()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown system kind {name!r}; registered kinds: {tuple(self._entries)}"
+            ) from None
+
+    def spec(self, kind: str, **overrides) -> SystemSpec:
+        """A default-configured typed spec for a registered kind."""
+        entry = self.get(kind)
+        return entry.config_cls(kind=kind, **overrides)
+
+    def spec_from_legacy(self, legacy: object) -> SystemSpec:
+        """Convert a legacy ``SystemConfig`` into the registered typed spec."""
+        entry = self.get(getattr(legacy, "kind"))
+        return entry.config_cls.from_legacy(legacy, kind=entry.name)
+
+    # -- building -------------------------------------------------------
+    def build(self, spec: SystemSpec, ctx: BuildContext) -> List[Balancer]:
+        """Dispatch to the registered builder for ``spec.kind``."""
+        entry = self.get(spec.kind)
+        return entry.builder(spec, ctx)
+
+    # -- built-in registration ------------------------------------------
+    def _ensure_builtins(self) -> None:
+        """Import the modules that register the built-in systems.
+
+        Deferred to first use so module import order never matters; plugin
+        modules (e.g. ``repro.experiments.hybrid``) register themselves the
+        same way the built-ins do.
+        """
+        from . import hybrid, systems  # noqa: F401  (imported for side effect)
+
+
+#: The process-global registry every public entry point dispatches through.
+REGISTRY = SystemRegistry()
+
+
+def register_system(
+    name: str,
+    *,
+    config: type = SystemSpec,
+    description: str = "",
+    replace_existing: bool = False,
+) -> Callable[[SystemBuilder], SystemBuilder]:
+    """Register a system builder with the global :data:`REGISTRY`.
+
+    This is the public extension point: decorate a builder taking
+    ``(spec, ctx)`` and returning the list of created balancers.
+    """
+    return REGISTRY.register(
+        name, config=config, description=description, replace_existing=replace_existing
+    )
+
+
+def registered_system_kinds() -> Tuple[str, ...]:
+    """Every system kind currently registered (built-ins and plugins)."""
+    return REGISTRY.names()

@@ -4,37 +4,33 @@
 load-balancing system, clients -- runs the simulation for the configured
 duration and aggregates metrics.  It is the single entry point used by the
 examples, the test-suite's integration tests and every Fig. 8/9/10 bench.
+
+System construction is dispatched through the pluggable system registry
+(:mod:`repro.experiments.registry`): the ``system`` field of an
+:class:`ExperimentConfig` may be a registered typed spec
+(:class:`~repro.experiments.registry.SystemSpec`) or the legacy
+:class:`SystemConfig` shim, which resolves to one.  ``run_sweep`` sweeps a
+list of system variants over workloads, building each workload once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..balancers import (
-    ConsistentHashBalancer,
-    GatewayBalancer,
-    LeastLoadBalancer,
-    RoundRobinBalancer,
-    SGLangRouterBalancer,
-)
 from ..cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
-from ..core import (
-    GDPRConstraint,
-    ROUTING_CONSISTENT_HASH,
-    ROUTING_PREFIX_TREE,
-    SameContinentConstraint,
-    SkyWalkerBalancer,
-    make_pushing_policy,
-)
+from ..core.interface import Balancer
 from ..metrics import RunMetrics, collect_run_metrics
-from ..network import Network, NetworkTopology, default_topology
+from ..network import Network, default_topology
 from ..sim import Environment
 from ..workloads.program import Program
 from ..workloads.request import Request
 from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .registry import REGISTRY, BuildContext, SystemSpec
 
-__all__ = ["ExperimentResult", "run_experiment", "build_system"]
+__all__ = ["ExperimentResult", "SweepResult", "run_experiment", "run_sweep", "build_system"]
+
+SystemLike = Union[SystemConfig, SystemSpec]
 
 
 @dataclass
@@ -43,7 +39,7 @@ class ExperimentResult:
 
     metrics: RunMetrics
     deployment: Deployment
-    balancers: List[object]
+    balancers: List[Balancer]
     tracker: RequestTracker
     frontend: Frontend
     env: Environment
@@ -53,24 +49,21 @@ class ExperimentResult:
         return self.tracker.completed
 
 
-def _hash_key_fn(which: str) -> Callable[[Request], str]:
-    if which == "user":
-        return lambda request: request.user_id
-    return lambda request: request.session_id
+def _resolve_system(system: SystemLike, workload_hash_key: Optional[str]) -> tuple:
+    """Normalise to (typed spec, resolved hash key).
 
-
-def _make_constraint(system: SystemConfig, topology: NetworkTopology):
-    if system.constraint is None:
-        return None
-    if system.constraint == "gdpr":
-        return GDPRConstraint(topology)
-    if system.constraint == "continent":
-        return SameContinentConstraint(topology)
-    raise ValueError(f"unknown constraint {system.constraint!r}")
+    The legacy shim keeps its historical precedence (the workload's natural
+    key wins); typed specs are explicit, so their ``hash_key`` -- when set --
+    overrides the workload's.
+    """
+    if isinstance(system, SystemConfig):
+        spec = system.resolve()
+        return spec, (workload_hash_key or system.hash_key or "user")
+    return system, (system.hash_key or workload_hash_key or "user")
 
 
 def build_system(
-    system: SystemConfig,
+    system: SystemLike,
     env: Environment,
     network: Network,
     deployment: Deployment,
@@ -78,85 +71,19 @@ def build_system(
     *,
     client_regions: Sequence[str] = (),
     hash_key: Optional[str] = None,
-) -> List[object]:
-    """Instantiate the requested load-balancing system and register it with
-    the frontend.  Returns the created balancer objects."""
-    topology = network.topology
-    key_fn = _hash_key_fn(hash_key or system.hash_key)
-    kind = system.kind
-
-    centralized = {
-        "round-robin": RoundRobinBalancer,
-        "least-load": LeastLoadBalancer,
-        "consistent-hash": ConsistentHashBalancer,
-        "sglang-router": SGLangRouterBalancer,
-    }
-    if kind in centralized:
-        cls = centralized[kind]
-        kwargs = {}
-        if kind == "consistent-hash":
-            kwargs["hash_key_fn"] = key_fn
-        balancer = cls(env, f"{kind}@{system.central_region}", system.central_region, network, **kwargs)
-        for replica in deployment.replicas:
-            balancer.add_replica(replica)
-        balancer.start()
-        frontend.register_balancer(balancer)
-        return [balancer]
-
-    regions = sorted(set(deployment.regions) | set(client_regions))
-
-    if kind == "gke-gateway":
-        gateways = []
-        for region in regions:
-            gateway = GatewayBalancer(
-                env,
-                f"gateway@{region}",
-                region,
-                network,
-                spill_threshold=system.gateway_spill_threshold,
-            )
-            for replica in deployment.replicas:
-                gateway.add_replica(replica)
-            gateway.start()
-            frontend.register_balancer(gateway)
-            gateways.append(gateway)
-        return gateways
-
-    if kind in ("skywalker", "skywalker-ch", "region-local"):
-        routing = ROUTING_CONSISTENT_HASH if kind == "skywalker-ch" else ROUTING_PREFIX_TREE
-        allow_remote = kind != "region-local"
-        constraint = _make_constraint(system, topology)
-        balancers: List[SkyWalkerBalancer] = []
-        for region in regions:
-            pushing_kwargs = {}
-            if system.pushing.upper() == "SP-O":
-                pushing_kwargs["max_outstanding"] = system.sp_o_threshold
-            balancer = SkyWalkerBalancer(
-                env,
-                f"{kind}@{region}",
-                region,
-                network,
-                routing=routing,
-                pushing_policy=make_pushing_policy(system.pushing, **pushing_kwargs),
-                probe_interval_s=system.probe_interval_s,
-                prefix_match_threshold=system.prefix_match_threshold,
-                trie_max_tokens=system.trie_max_tokens,
-                allow_remote=allow_remote,
-                constraint=constraint,
-                hash_key_fn=key_fn,
-            )
-            for replica in deployment.replicas_in(region):
-                balancer.add_replica(replica)
-            balancers.append(balancer)
-        for balancer in balancers:
-            for peer in balancers:
-                if peer is not balancer:
-                    balancer.add_peer(peer)
-            balancer.start()
-            frontend.register_balancer(balancer)
-        return balancers
-
-    raise ValueError(f"unknown system kind {kind!r}")
+) -> List[Balancer]:
+    """Instantiate the requested load-balancing system via the registry and
+    register it with the frontend.  Returns the created balancer objects."""
+    spec, resolved_key = _resolve_system(system, hash_key)
+    ctx = BuildContext(
+        env=env,
+        network=network,
+        deployment=deployment,
+        frontend=frontend,
+        client_regions=tuple(client_regions),
+        hash_key=resolved_key,
+    )
+    return REGISTRY.build(spec, ctx)
 
 
 def _split_round_robin(programs: Sequence[Program], parts: int) -> List[List[Program]]:
@@ -239,3 +166,73 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         frontend=frontend,
         env=env,
     )
+
+
+@dataclass
+class SweepResult:
+    """Metrics for every (workload, system) pair of a sweep."""
+
+    runs: Dict[str, Dict[str, RunMetrics]] = field(default_factory=dict)
+
+    def add(self, metrics: RunMetrics) -> None:
+        self.runs.setdefault(metrics.workload, {})[metrics.system] = metrics
+
+    def workloads(self) -> List[str]:
+        return list(self.runs)
+
+    def systems(self, workload: str) -> List[str]:
+        return list(self.runs[workload])
+
+    def get(self, workload: str, system: str) -> RunMetrics:
+        return self.runs[workload][system]
+
+    def format_report(self) -> str:
+        lines: List[str] = []
+        for workload, row in self.runs.items():
+            lines.append(f"== {workload} ==")
+            for metrics in row.values():
+                lines.append("  " + metrics.format_row())
+        return "\n".join(lines)
+
+
+def run_sweep(
+    systems: Sequence[SystemLike],
+    workloads: Sequence[WorkloadSpec],
+    *,
+    cluster: Optional[ClusterConfig] = None,
+    duration_s: float = 120.0,
+    seed: int = 0,
+    network_jitter: float = 0.05,
+) -> SweepResult:
+    """Run every system variant against every workload.
+
+    Each workload is built **once** by the caller and replayed across the
+    system variants via :meth:`WorkloadSpec.fresh_copy`, so variants see
+    identical traffic without paying workload generation per run (and
+    without sharing mutable request state).
+
+    Results are indexed by each system's display name, so variants of the
+    same kind must be disambiguated with ``label`` (otherwise later runs
+    would silently overwrite earlier ones).
+    """
+    names = [system.name for system in systems]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(
+            f"system variants share display name(s) {duplicates}; "
+            "set label=... on each variant to disambiguate"
+        )
+    cluster = cluster or ClusterConfig()
+    result = SweepResult()
+    for workload in workloads:
+        for system in systems:
+            config = ExperimentConfig(
+                system=system,
+                cluster=cluster,
+                duration_s=duration_s,
+                seed=seed,
+                network_jitter=network_jitter,
+            )
+            outcome = run_experiment(config, workload.fresh_copy())
+            result.add(outcome.metrics)
+    return result

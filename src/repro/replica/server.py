@@ -84,6 +84,7 @@ class ReplicaServer:
         self.healthy = True
         self._on_first_token: List[RequestCallback] = []
         self._on_complete: List[RequestCallback] = []
+        self._on_health: List[Callable[["ReplicaServer"], None]] = []
         self._process = env.process(self._run())
 
     # ------------------------------------------------------------------
@@ -96,6 +97,24 @@ class ReplicaServer:
     def add_first_token_listener(self, callback: RequestCallback) -> None:
         """Register a callback invoked when a request emits its first token."""
         self._on_first_token.append(callback)
+
+    def add_health_listener(self, callback: Callable[["ReplicaServer"], None]) -> None:
+        """Register a callback invoked (with the replica) on fail/recover."""
+        self._on_health.append(callback)
+
+    def remove_completion_listener(self, callback: RequestCallback) -> None:
+        """Detach a completion listener (no-op if not registered)."""
+        if callback in self._on_complete:
+            self._on_complete.remove(callback)
+
+    def remove_health_listener(self, callback: Callable[["ReplicaServer"], None]) -> None:
+        """Detach a health listener (no-op if not registered)."""
+        if callback in self._on_health:
+            self._on_health.remove(callback)
+
+    def _emit_health_change(self) -> None:
+        for callback in self._on_health:
+            callback(self)
 
     def submit(self, request: Request):
         """Hand a request to the replica (returns the store-put event)."""
@@ -115,6 +134,7 @@ class ReplicaServer:
             aborted.append(request)
         if self._process.is_alive:
             self._process.interrupt("replica-failure")
+        self._emit_health_change()
         return aborted
 
     def recover(self) -> None:
@@ -131,6 +151,7 @@ class ReplicaServer:
         # first request delivered after recovery.
         self.inbox = Store(self.env)
         self._process = self.env.process(self._run())
+        self._emit_health_change()
 
     # ------------------------------------------------------------------
     # probe interface (observable load signals)

@@ -45,6 +45,21 @@ class Program:
         for stage in self.stages:
             yield from stage
 
+    def clone(self) -> "Program":
+        """A fresh copy with pristine requests (no routing/execution state).
+
+        Lets one generated workload be replayed across several system
+        variants (``run_sweep``) without the runs contaminating each other
+        through the mutable per-request state.
+        """
+        return Program(
+            program_id=self.program_id,
+            user_id=self.user_id,
+            region=self.region,
+            stages=[[request.clone_for_retry() for request in stage] for stage in self.stages],
+            kind=self.kind,
+        )
+
     def total_prompt_tokens(self) -> int:
         return sum(r.prompt_len for r in self.all_requests())
 

@@ -272,3 +272,36 @@ def test_fail_strands_queued_requests_and_recover_restarts(env, network, make_ti
     assert balancer.take_stranded() == []
     balancer.recover()
     assert balancer.healthy
+
+
+# ----------------------------------------------------------------------
+# listener hygiene across add/remove cycles (controller takeovers)
+# ----------------------------------------------------------------------
+def test_remove_replica_detaches_listeners_and_readd_does_not_stack(env, network, make_tiny_replica):
+    balancer = SkyWalkerBalancer(env, "lb@us", "us", network)
+    replica = make_tiny_replica("us")
+
+    for _ in range(3):  # repeated takeover/recover cycles
+        balancer.add_replica(replica)
+        balancer.remove_replica(replica.name)
+    balancer.add_replica(replica)
+    # Exactly one completion and one health listener from this balancer.
+    assert replica._on_complete.count(balancer._on_replica_complete) == 1
+    assert replica._on_health.count(balancer._on_replica_health) == 1
+
+    # outstanding is decremented exactly once per completion.
+    request = make_request(region="us")
+    request.replica_name = replica.name
+    balancer.outstanding[replica.name] = 2
+    for callback in replica._on_complete:
+        callback(request)
+    assert balancer.outstanding[replica.name] == 1
+
+
+def test_duplicate_add_replica_is_idempotent(env, network, make_tiny_replica):
+    balancer = SkyWalkerBalancer(env, "lb@us", "us", network)
+    replica = make_tiny_replica("us")
+    balancer.add_replica(replica)
+    balancer.add_replica(replica)
+    assert replica._on_complete.count(balancer._on_replica_complete) == 1
+    assert len(balancer.local_replicas()) == 1
