@@ -5,11 +5,15 @@ evaluation.  Results are printed and also written to ``benchmarks/results/``
 so a full ``pytest benchmarks/ --benchmark-only`` run leaves behind the
 complete set of reproduced rows/series.
 
-Two environment variables control fidelity:
+Three environment variables control fidelity:
 
 * ``REPRO_BENCH_SCALE``     -- client/replica scale factor (default 0.5; the
   paper's full scale is 1.0).
 * ``REPRO_BENCH_DURATION``  -- simulated seconds per run (default 120).
+* ``REPRO_BENCH_WORKERS``   -- worker processes per sweep (default 0 = auto:
+  one per core, capped at 4).  Sweep results are bit-identical for any
+  worker count, so this only trades wall-clock; full-fidelity Fig. 8
+  reproductions (scale 1.0) are where it pays off.
 """
 
 from __future__ import annotations
@@ -28,6 +32,13 @@ def bench_scale() -> float:
 
 def bench_duration() -> float:
     return float(os.environ.get("REPRO_BENCH_DURATION", "120"))
+
+
+def bench_workers() -> int:
+    value = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    if value <= 0:
+        return max(1, min(4, os.cpu_count() or 1))
+    return value
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import run_pushing_benchmark
 
-from conftest import bench_duration, bench_scale
+from conftest import bench_duration, bench_scale, bench_workers
 
 
 def test_ablation_sp_o_threshold_sensitivity(benchmark, record_result):
@@ -69,25 +69,30 @@ def test_ablation_probe_interval(benchmark, record_result):
     """Ablation -- probe interval (the paper fixes it at 100 ms)."""
     from repro.experiments import (
         ClusterConfig,
-        ExperimentConfig,
-        SystemConfig,
+        SkyWalkerConfig,
         build_arena_workload,
-        run_experiment,
+        run_sweep,
     )
 
     def run():
-        results = {}
-        for interval in (0.05, 0.1, 0.4):
-            workload = build_arena_workload(scale=max(bench_scale() * 0.6, 0.08), seed=3)
-            config = ExperimentConfig(
-                system=SystemConfig(kind="skywalker", probe_interval_s=interval,
-                                    hash_key=workload.hash_key, label=f"probe-{int(interval*1000)}ms"),
-                cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
-                duration_s=bench_duration(),
-                seed=3,
-            )
-            results[f"{int(interval * 1000)}ms"] = run_experiment(config, workload).metrics
-        return results
+        workload = build_arena_workload(scale=max(bench_scale() * 0.6, 0.08), seed=3)
+        systems = [
+            SkyWalkerConfig(kind="skywalker", probe_interval_s=interval,
+                            hash_key=workload.hash_key, label=f"probe-{int(interval*1000)}ms")
+            for interval in (0.05, 0.1, 0.4)
+        ]
+        sweep = run_sweep(
+            systems,
+            [workload],
+            cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
+            duration_s=bench_duration(),
+            seed=3,
+            workers=min(bench_workers(), 3),
+        )
+        return {
+            system.label.removeprefix("probe-"): sweep.get(workload.name, system.name)
+            for system in systems
+        }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 

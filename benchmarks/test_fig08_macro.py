@@ -22,7 +22,7 @@ import pytest
 
 from repro.experiments import ALL_SYSTEMS, default_macro_cluster, run_macro_benchmark
 
-from conftest import bench_duration, bench_scale
+from conftest import bench_duration, bench_scale, bench_workers
 
 WORKLOADS = ("chatbot-arena", "wildchat", "tree-of-thoughts", "mixed-tree")
 
@@ -49,7 +49,9 @@ def _render(result, workload) -> str:
 
 def _run(workload):
     # Clients and replicas are scaled together so the per-replica load (and
-    # thus the saturation regime of the paper's testbed) is preserved.
+    # thus the saturation regime of the paper's testbed) is preserved.  The
+    # seven systems run as one process-parallel sweep; results are identical
+    # to a serial run for the same seed.
     return run_macro_benchmark(
         systems=ALL_SYSTEMS,
         workloads=(workload,),
@@ -57,6 +59,7 @@ def _run(workload):
         duration_s=bench_duration(),
         cluster=default_macro_cluster(bench_scale()),
         seed=0,
+        workers=bench_workers(),
     )
 
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.experiments import run_pushing_benchmark
 
-from conftest import bench_duration, bench_scale
+from conftest import bench_duration, bench_scale, bench_workers
 
 
 def test_fig09_selective_pushing(benchmark, record_result):
@@ -24,6 +24,7 @@ def test_fig09_selective_pushing(benchmark, record_result):
             duration_s=bench_duration(),
             sp_o_threshold=24,
             seed=7,
+            workers=min(bench_workers(), 3),
         ),
         rounds=1,
         iterations=1,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.experiments import run_diurnal_sweep
 
-from conftest import bench_duration
+from conftest import bench_duration, bench_workers
 
 REPLICA_COUNTS = (3, 6, 9, 12)
 SLO_CANDIDATES_S = (3.0, 3.5, 4.0, 4.5, 5.0, 6.0)
@@ -32,6 +32,7 @@ def test_fig10_skywalker_vs_region_local(benchmark, record_result):
             scale=1.0,
             duration_s=max(bench_duration(), 120.0),
             seed=5,
+            workers=bench_workers(),
         ),
         rounds=1,
         iterations=1,

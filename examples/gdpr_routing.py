@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.experiments import (
     ClusterConfig,
     ExperimentConfig,
-    SystemConfig,
+    SkyWalkerConfig,
     WorkloadSpec,
     run_experiment,
 )
@@ -51,8 +51,10 @@ def build_eu_heavy_workload(seed: int = 3) -> WorkloadSpec:
 
 def run(constraint):
     workload = build_eu_heavy_workload()
+    # ``constraint`` is a registered routing-constraint name (None, "gdpr",
+    # "continent", or anything added via repro.core.register_constraint).
     config = ExperimentConfig(
-        system=SystemConfig(kind="skywalker", hash_key="user", constraint=constraint),
+        system=SkyWalkerConfig(kind="skywalker", hash_key="user", constraint=constraint),
         # Small replicas so the EU region genuinely overflows.
         cluster=ClusterConfig(
             replicas_per_region={"us": 1, "eu": 1, "asia": 1},

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.experiments import (
     ClusterConfig,
     ExperimentConfig,
-    SystemConfig,
+    SkyWalkerConfig,
     build_arena_workload,
     run_experiment,
 )
@@ -27,9 +27,10 @@ def main() -> None:
     workload = build_arena_workload(scale=0.2, seed=0)
 
     # 2. Describe the system: SkyWalker with prefix-tree routing and
-    #    pending-request selective pushing, on 2 replicas per region.
+    #    pending-request selective pushing ("SP-P", a registered pushing
+    #    policy name), on 2 replicas per region.
     config = ExperimentConfig(
-        system=SystemConfig(kind="skywalker", hash_key=workload.hash_key),
+        system=SkyWalkerConfig(kind="skywalker", pushing="SP-P"),
         cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
         duration_s=120.0,
         seed=0,

@@ -15,9 +15,9 @@ Run with::
 from __future__ import annotations
 
 from repro.experiments import (
+    REGISTRY,
     ClusterConfig,
     ExperimentConfig,
-    SystemConfig,
     build_mixed_tree_workload,
     run_experiment,
 )
@@ -34,7 +34,7 @@ def main() -> None:
     for kind in SYSTEMS:
         workload = build_mixed_tree_workload(scale=0.3, seed=2)
         config = ExperimentConfig(
-            system=SystemConfig(kind=kind, hash_key=workload.hash_key),
+            system=REGISTRY.spec(kind, hash_key=workload.hash_key),
             cluster=cluster,
             duration_s=120.0,
             seed=2,

@@ -18,7 +18,11 @@ Quick start -- one run with a registry-typed system config::
     print(result.metrics.format_row())
 
 Sweep several systems over one generated workload (the workload is built
-once and replayed with fresh request state per variant)::
+once and replayed with fresh request state per variant).  ``workers`` runs
+each (workload, system) cell in its own worker process -- results are
+bit-identical to the serial loop for the same seed, so parallelism only
+buys wall-clock (this is what makes full-fidelity multi-seed Fig. 8
+reproductions feasible)::
 
     from repro.experiments import REGISTRY, run_sweep
 
@@ -26,8 +30,13 @@ once and replayed with fresh request state per variant)::
         [REGISTRY.spec("skywalker"), REGISTRY.spec("skywalker-hybrid"),
          REGISTRY.spec("least-load")],
         [workload],
+        workers=4,
     )
     print(sweep.format_report())
+
+Lower-level control (arbitrary per-cell functions, e.g. the Fig. 10 sweep's
+per-region percentiles) is available through
+``repro.experiments.SweepExecutor``.
 
 Add a whole new system without touching the runner -- register a typed
 config and a builder with the public registry::
@@ -51,11 +60,44 @@ After registration ``"my-system"`` works everywhere a built-in kind does:
 ``skywalker-hybrid`` system (``repro.experiments.hybrid``) is exactly such
 a plugin.
 
-Deprecation note: the grab-bag ``SystemConfig(kind=...)`` dataclass remains
-fully supported as a thin shim -- it resolves to the registered typed config
-via ``SystemConfig.resolve()`` -- but new code should prefer the typed
-configs (``SkyWalkerConfig``, ``GatewayConfig``, ``CentralizedConfig``, ...)
-or ``REGISTRY.spec(kind, **overrides)``.
+The same ``@register_*`` pattern extends SkyWalker's policy knobs, which
+configs therefore carry as plain *names* (keeping every experiment
+description picklable for the process-parallel sweeps):
+
+* **pushing policies** (``"BP"``/``"SP-O"``/``"SP-P"``) --
+  ``repro.core.register_pushing_policy`` / ``make_pushing_policy``::
+
+      from repro.core import PushingPolicy, register_pushing_policy
+
+      @register_pushing_policy("SP-MEM")
+      class MemoryPushing(PushingPolicy):
+          def replica_available(self, probe, dispatched_since_probe):
+              return probe.healthy and probe.memory_utilization < 0.8
+
+      SkyWalkerConfig(kind="skywalker", pushing="SP-MEM")  # just works
+
+* **routing constraints** (``"gdpr"``/``"continent"``/``"allow-all"``) --
+  ``repro.core.register_constraint`` / ``make_constraint``; factories
+  receive the run's topology::
+
+      from repro.core import DenyRegions, register_constraint
+
+      @register_constraint("no-asia")
+      def _no_asia(topology):
+          return DenyRegions({"asia"})
+
+      SkyWalkerConfig(kind="skywalker", constraint="no-asia")
+
+* **selection policies** (``"prefix_tree"``/``"consistent_hash"``) --
+  ``repro.core.register_selection_policy`` / ``make_selection_policy``,
+  making custom names valid as ``SkyWalkerBalancer(routing=...)``.
+
+Deprecation note: the grab-bag ``SystemConfig(kind=...)`` dataclass is a
+deprecation-only shim (constructing one warns, no first-party example or
+benchmark uses it) -- it still resolves to the registered typed config via
+``SystemConfig.resolve()``, but new code should use the typed configs
+(``SkyWalkerConfig``, ``GatewayConfig``, ``CentralizedConfig``, ...) or
+``REGISTRY.spec(kind, **overrides)``.
 
 Sub-packages
 ------------

@@ -23,6 +23,9 @@ from .selection import (
     PrefixTreeSelection,
     SelectionPolicy,
     make_selection_policy,
+    register_selection_policy,
+    registered_selection_policies,
+    unregister_selection_policy,
 )
 from .policies import (
     AllowAll,
@@ -31,6 +34,10 @@ from .policies import (
     GDPRConstraint,
     RoutingConstraint,
     SameContinentConstraint,
+    make_constraint,
+    register_constraint,
+    registered_constraints,
+    unregister_constraint,
 )
 from .prefix_tree import PrefixMatch, PrefixTree
 from .pushing import (
@@ -40,6 +47,9 @@ from .pushing import (
     SelectivePushingOutstanding,
     SelectivePushingPending,
     make_pushing_policy,
+    register_pushing_policy,
+    registered_pushing_policies,
+    unregister_pushing_policy,
 )
 
 __all__ = [
@@ -52,6 +62,9 @@ __all__ = [
     "PrefixTreeSelection",
     "ConsistentHashSelection",
     "make_selection_policy",
+    "register_selection_policy",
+    "registered_selection_policies",
+    "unregister_selection_policy",
     "AvailabilityMonitor",
     "LoadBalancerProbe",
     "ServiceController",
@@ -65,10 +78,17 @@ __all__ = [
     "SelectivePushingOutstanding",
     "SelectivePushingPending",
     "make_pushing_policy",
+    "register_pushing_policy",
+    "registered_pushing_policies",
+    "unregister_pushing_policy",
     "RoutingConstraint",
     "AllowAll",
     "GDPRConstraint",
     "SameContinentConstraint",
     "DenyRegions",
     "CompositeConstraint",
+    "make_constraint",
+    "register_constraint",
+    "registered_constraints",
+    "unregister_constraint",
 ]

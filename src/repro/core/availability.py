@@ -103,11 +103,15 @@ class AvailabilityMonitor:
     def add_remote_balancer(self, balancer: "SkyWalkerBalancer") -> None:
         self._remote_balancers[balancer.name] = balancer
         self._forwarded_since_probe.setdefault(balancer.name, 0)
+        # Seed from the peer's live state (mirroring add_local_replica): a
+        # peer that is already failed when attached -- e.g. controller
+        # failover re-wiring -- must not look like a forward target until the
+        # first real probe lands.
         self.balancer_probes[balancer.name] = LoadBalancerProbe(
             balancer_name=balancer.name,
-            healthy=True,
-            num_available_replicas=1,
-            queue_size=0,
+            healthy=balancer.healthy,
+            num_available_replicas=balancer.num_available_replicas,
+            queue_size=balancer.queue_size,
             probe_time=self.env.now,
         )
 
@@ -202,6 +206,14 @@ class AvailabilityMonitor:
                 continue
             available.append(balancer)
         return available
+
+    def dispatched_since_probe(self, replica_name: str) -> int:
+        """How many requests were pushed to a replica since its last probe.
+
+        Public accessor for the load estimates the balancer and selection
+        policies combine with the probed outstanding count.
+        """
+        return self._dispatched_since_probe.get(replica_name, 0)
 
     def note_dispatch(self, replica_name: str) -> None:
         """Record that a request was just pushed to a local replica."""

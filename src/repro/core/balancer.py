@@ -219,9 +219,18 @@ class SkyWalkerBalancer(BalancerBase):
         return list(stranded)
 
     def recover(self) -> None:
-        """Restart a failed balancer with empty routing state."""
+        """Restart a failed balancer with empty routing state.
+
+        A real restart loses the in-memory prefix trees, so routing on
+        pre-failure affinity data would be wrong: the replicas' caches were
+        churned by the takeover balancer while this one was down.  The hash
+        rings are pure functions of the membership (which the controller
+        re-drives via add_replica/add_peer), so they stay.
+        """
         if self.healthy:
             return
+        self.replica_trie.clear()
+        self.snapshot_trie.clear()
         self.healthy = True
         self._process = self.env.process(self._serve())
 
@@ -303,7 +312,7 @@ class SkyWalkerBalancer(BalancerBase):
     def estimated_load(self, replica: ReplicaServer) -> int:
         probe = self.monitor.replica_probes.get(replica.name)
         outstanding = probe.num_outstanding if probe else 0
-        return outstanding + self.monitor._dispatched_since_probe.get(replica.name, 0)
+        return outstanding + self.monitor.dispatched_since_probe(replica.name)
 
     def severely_imbalanced(
         self, preferred: ReplicaServer, candidates: List[ReplicaServer]

@@ -86,6 +86,11 @@ class PrefixTree(Generic[T]):
     def total_tokens(self) -> int:
         return self._total_tokens
 
+    def clear(self) -> None:
+        """Drop every recorded prefix (all targets, all nodes)."""
+        self.root = _TrieNode()
+        self._total_tokens = 0
+
     # ------------------------------------------------------------------
     # insertion
     # ------------------------------------------------------------------

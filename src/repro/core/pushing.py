@@ -17,11 +17,20 @@ Policies operate on :class:`ReplicaProbe` snapshots gathered by the
 availability monitor; they never inspect the replica object directly, which
 keeps the information model identical to the real system (probes are stale
 by up to one probe interval plus an RTT).
+
+Policies are resolved *by name* through a registry: the built-ins register
+themselves via :func:`register_pushing_policy` and third parties add their
+own the same way.  Experiment configs carry only the (picklable) policy
+name; the actual policy object is instantiated wherever the system is built,
+including inside sweep worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ._registry import NameRegistry
 
 __all__ = [
     "ReplicaProbe",
@@ -29,8 +38,14 @@ __all__ = [
     "BlindPushing",
     "SelectivePushingOutstanding",
     "SelectivePushingPending",
+    "register_pushing_policy",
+    "unregister_pushing_policy",
+    "registered_pushing_policies",
     "make_pushing_policy",
 ]
+
+#: Factory taking policy-specific keyword arguments and returning a policy.
+PushingPolicyFactory = Callable[..., "PushingPolicy"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,40 @@ class PushingPolicy:
         return f"<{type(self).__name__}>"
 
 
+# ----------------------------------------------------------------------
+# the pushing-policy registry
+# ----------------------------------------------------------------------
+_PUSHING_POLICIES = NameRegistry("pushing policy", plural="policies", normalize=str.upper)
+
+
+def register_pushing_policy(
+    name: str, *, replace_existing: bool = False
+) -> Callable[[PushingPolicyFactory], PushingPolicyFactory]:
+    """Register a pushing-policy factory under ``name`` (case-insensitive).
+
+    This is the same extension pattern as ``@register_system``: decorate a
+    class (or any factory taking keyword arguments) and the name becomes
+    resolvable everywhere a built-in policy name is -- ``SkyWalkerConfig``'s
+    ``pushing`` field, the legacy shim, and :func:`make_pushing_policy`::
+
+        @register_pushing_policy("SP-RANDOM")
+        class RandomPushing(PushingPolicy):
+            ...
+    """
+    return _PUSHING_POLICIES.register(name, replace_existing=replace_existing)
+
+
+def unregister_pushing_policy(name: str) -> None:
+    """Remove a registered policy (mainly for test cleanup)."""
+    _PUSHING_POLICIES.unregister(name)
+
+
+def registered_pushing_policies() -> Tuple[str, ...]:
+    """Every pushing-policy name currently registered."""
+    return _PUSHING_POLICIES.names()
+
+
+@register_pushing_policy("BP")
 class BlindPushing(PushingPolicy):
     """Route immediately, regardless of replica state (BP)."""
 
@@ -81,6 +130,7 @@ class BlindPushing(PushingPolicy):
         return probe.healthy
 
 
+@register_pushing_policy("SP-O")
 class SelectivePushingOutstanding(PushingPolicy):
     """Fixed cap on outstanding requests per replica (SP-O).
 
@@ -106,6 +156,7 @@ class SelectivePushingOutstanding(PushingPolicy):
         return f"<SelectivePushingOutstanding max={self.max_outstanding}>"
 
 
+@register_pushing_policy("SP-P")
 class SelectivePushingPending(PushingPolicy):
     """SkyWalker's policy: a replica is available iff it has no pending
     request (its continuous batch is not full), SP-P.
@@ -148,14 +199,6 @@ class SelectivePushingPending(PushingPolicy):
 
 
 def make_pushing_policy(name: str, **kwargs) -> PushingPolicy:
-    """Factory used by experiment configs (``"BP"``, ``"SP-O"``, ``"SP-P"``)."""
-    table = {
-        "BP": BlindPushing,
-        "SP-O": SelectivePushingOutstanding,
-        "SP-P": SelectivePushingPending,
-    }
-    try:
-        cls = table[name.upper()]
-    except KeyError:
-        raise ValueError(f"unknown pushing policy {name!r}; expected one of {sorted(table)}") from None
-    return cls(**kwargs)
+    """Instantiate a registered pushing policy by name (``"BP"``, ``"SP-O"``,
+    ``"SP-P"``, or any name added via :func:`register_pushing_policy`)."""
+    return _PUSHING_POLICIES.make(name, **kwargs)

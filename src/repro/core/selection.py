@@ -19,10 +19,11 @@ touching the balancer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Callable, List, Tuple
 
 from ..replica import ReplicaServer
 from ..workloads.request import Request
+from ._registry import NameRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .balancer import SkyWalkerBalancer
@@ -31,8 +32,14 @@ __all__ = [
     "SelectionPolicy",
     "PrefixTreeSelection",
     "ConsistentHashSelection",
+    "register_selection_policy",
+    "unregister_selection_policy",
+    "registered_selection_policies",
     "make_selection_policy",
 ]
+
+#: Factory taking policy-specific keyword arguments and returning a policy.
+SelectionPolicyFactory = Callable[..., "SelectionPolicy"]
 
 
 class SelectionPolicy:
@@ -80,6 +87,36 @@ def _most_free_capacity(
     return min(candidates, key=free_capacity)
 
 
+# ----------------------------------------------------------------------
+# the selection-policy registry
+# ----------------------------------------------------------------------
+_SELECTION_POLICIES = NameRegistry("routing policy", plural="policies")
+
+
+def register_selection_policy(
+    name: str, *, replace_existing: bool = False
+) -> Callable[[SelectionPolicyFactory], SelectionPolicyFactory]:
+    """Register a selection-policy factory under a routing-layer name.
+
+    Same ``@register_*`` pattern as systems, pushing policies and routing
+    constraints: decorate a class (or factory) and the name becomes valid
+    as a balancer ``routing=...`` argument and for
+    :func:`make_selection_policy`.
+    """
+    return _SELECTION_POLICIES.register(name, replace_existing=replace_existing)
+
+
+def unregister_selection_policy(name: str) -> None:
+    """Remove a registered policy (mainly for test cleanup)."""
+    _SELECTION_POLICIES.unregister(name)
+
+
+def registered_selection_policies() -> Tuple[str, ...]:
+    """Every selection-policy name currently registered."""
+    return _SELECTION_POLICIES.names()
+
+
+@register_selection_policy("prefix_tree")
 class PrefixTreeSelection(SelectionPolicy):
     """The full SkyWalker design: route to the best prefix match unless the
     match is weak or the preferred target is severely imbalanced (§3.2-3.3)."""
@@ -113,6 +150,7 @@ class PrefixTreeSelection(SelectionPolicy):
         return _most_free_capacity(balancer, candidates)
 
 
+@register_selection_policy("consistent_hash")
 class ConsistentHashSelection(SelectionPolicy):
     """SkyWalker-CH: two-layer consistent hashing on a workload identity key."""
 
@@ -140,10 +178,6 @@ class ConsistentHashSelection(SelectionPolicy):
         return _most_free_capacity(balancer, candidates)
 
 
-def make_selection_policy(routing: str) -> SelectionPolicy:
-    """Instantiate the built-in policy for a routing-layer name."""
-    if routing == PrefixTreeSelection.routing:
-        return PrefixTreeSelection()
-    if routing == ConsistentHashSelection.routing:
-        return ConsistentHashSelection()
-    raise ValueError(f"unknown routing policy {routing!r}")
+def make_selection_policy(routing: str, **kwargs) -> SelectionPolicy:
+    """Instantiate the registered policy for a routing-layer name."""
+    return _SELECTION_POLICIES.make(routing, **kwargs)

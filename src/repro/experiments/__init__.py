@@ -3,8 +3,14 @@
 Systems are built through the pluggable registry (:mod:`.registry`): each
 balancer family registers a builder and a typed config via
 ``@register_system``, and new systems (e.g. :mod:`.hybrid`'s
-``skywalker-hybrid``) plug in without touching the runner.  The legacy
-``SystemConfig(kind=...)`` shim remains supported.
+``skywalker-hybrid``) plug in without touching the runner.  Pushing
+policies, routing constraints and selection policies resolve by name the
+same way (``repro.core``'s ``register_pushing_policy`` /
+``register_constraint`` / ``register_selection_policy``), which keeps every
+experiment description picklable: :mod:`.sweep`'s :class:`SweepExecutor`
+runs each (workload, system) cell of a sweep in its own worker process and
+returns metrics bit-identical to the serial loop.  The legacy
+``SystemConfig(kind=...)`` shim remains supported but is deprecated.
 """
 
 from .config import (
@@ -40,6 +46,7 @@ from .registry import (
     registered_system_kinds,
 )
 from .runner import ExperimentResult, SweepResult, build_system, run_experiment, run_sweep
+from .sweep import SweepExecutor, SweepTask, run_sweep_task
 from .systems import CentralizedConfig, GatewayConfig, SkyWalkerConfig
 from .workloads import (
     MACRO_WORKLOAD_BUILDERS,
@@ -76,6 +83,9 @@ __all__ = [
     # runners
     "ExperimentResult",
     "SweepResult",
+    "SweepExecutor",
+    "SweepTask",
+    "run_sweep_task",
     "run_experiment",
     "run_sweep",
     "build_system",

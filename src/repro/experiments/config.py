@@ -23,6 +23,7 @@ and workloads without duplicating wiring code.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -72,10 +73,12 @@ class SystemConfig:
     """Which balancer architecture to build and how to configure it.
 
     .. deprecated::
-        Legacy shim kept so existing benchmarks/examples/tests run
-        unchanged.  The union of every system's knobs lives here; the
-        registry's typed configs split them per system.  ``kind`` may be any
-        *registered* system kind -- including ones added by plugins such as
+        Deprecation-only shim: no first-party example or benchmark uses it
+        any more, and constructing one emits a :class:`DeprecationWarning`.
+        It remains functional so third-party scripts keep running.  The
+        union of every system's knobs lives here; the registry's typed
+        configs split them per system.  ``kind`` may be any *registered*
+        system kind -- including ones added by plugins such as
         ``"skywalker-hybrid"`` -- not just the seed :data:`SYSTEM_KINDS`.
     """
 
@@ -97,6 +100,13 @@ class SystemConfig:
     gateway_spill_threshold: float = 16.0
 
     def __post_init__(self) -> None:
+        warnings.warn(
+            "SystemConfig(kind=...) is deprecated; use the registered typed "
+            "configs (SkyWalkerConfig, GatewayConfig, CentralizedConfig, ...) "
+            "or REGISTRY.spec(kind, **overrides) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
         if self.kind not in REGISTRY:
             raise ValueError(
                 f"unknown system kind {self.kind!r}; expected one of {REGISTRY.names()}"

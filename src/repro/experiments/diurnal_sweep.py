@@ -10,14 +10,17 @@ with fewer replicas -- the paper's 9-replica SkyWalker matches the
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.cost import CostModel
 from ..metrics import LatencySummary, RunMetrics
 from ..workloads import ARENA_LIKE, ConversationConfig, ConversationWorkload
-from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
+from .registry import REGISTRY
 from .runner import run_experiment
+from .sweep import SweepExecutor
 
 __all__ = ["DiurnalSweepResult", "build_skewed_workload", "run_diurnal_sweep"]
 
@@ -124,7 +127,10 @@ def build_skewed_workload(scale: float = 1.0, *, seed: int = 5,
             conversations_per_user=conversations_per_client,
             turns_range=(2, 4),
             lengths=ARENA_LIKE,
-            seed=seed + hash(region) % 997,
+            # crc32, not hash(): built-in str hashing is salted per process
+            # (PYTHONHASHSEED), which would make "same seed, same workload"
+            # false across invocations.
+            seed=seed + zlib.crc32(region.encode("utf-8")) % 997,
         )
         programs_by_region[region] = ConversationWorkload(config).generate_programs()
     return WorkloadSpec(
@@ -135,39 +141,78 @@ def build_skewed_workload(scale: float = 1.0, *, seed: int = 5,
     )
 
 
+@dataclass(frozen=True)
+class _DiurnalCell:
+    """One (system kind, total replica count) cell of the Fig. 10 sweep."""
+
+    kind: str
+    total_replicas: int
+    workload: WorkloadSpec
+    duration_s: float
+    seed: int
+
+
+def _run_diurnal_cell(cell: _DiurnalCell) -> RunMetrics:
+    """Run one Fig. 10 cell, annotating per-region tail latency.
+
+    Module-level so :meth:`SweepExecutor.map` can ship it to a worker
+    process; the per-region percentiles have to be computed here because
+    only the worker sees the completed request objects.
+    """
+    per_region = cell.total_replicas // len(_REGIONS)
+    cluster = ClusterConfig(
+        replicas_per_region={region: per_region for region in _REGIONS}
+    )
+    config = ExperimentConfig(
+        system=REGISTRY.spec(cell.kind, hash_key="user"),
+        cluster=cluster,
+        duration_s=cell.duration_s,
+        seed=cell.seed,
+    )
+    outcome = run_experiment(config, cell.workload.fresh_copy())
+    metrics = outcome.metrics
+    # Per-region tail latency: the overloaded (US) region is the one
+    # a region-local deployment must over-provision for.
+    for region in _REGIONS:
+        ttfts = [r.ttft for r in outcome.completed if r.region == region and r.ttft is not None]
+        if ttfts:
+            summary = LatencySummary.from_values(ttfts)
+            metrics.extra[f"{region}_ttft_p90"] = summary.p90
+            metrics.extra[f"{region}_ttft_p50"] = summary.p50
+    return metrics
+
+
 def run_diurnal_sweep(
     *,
     replica_counts: Sequence[int] = (3, 6, 9, 12, 15, 18),
     scale: float = 0.2,
     duration_s: float = 120.0,
     seed: int = 5,
+    workers: int = 1,
 ) -> DiurnalSweepResult:
-    """Sweep total replica counts for SkyWalker and the region-local baseline."""
-    result = DiurnalSweepResult()
+    """Sweep total replica counts for SkyWalker and the region-local baseline.
+
+    ``workers`` > 1 distributes the (kind, replica count) cells over that
+    many worker processes; results are identical to the serial sweep for
+    the same seed.
+    """
     for total in replica_counts:
         if total % len(_REGIONS) != 0:
             raise ValueError("replica counts must be divisible by the number of regions")
-        per_region = total // len(_REGIONS)
-        cluster = ClusterConfig(
-            replicas_per_region={region: per_region for region in _REGIONS}
+    workload = build_skewed_workload(scale=scale, seed=seed)
+    cells = [
+        _DiurnalCell(
+            kind=kind,
+            total_replicas=total,
+            workload=workload,
+            duration_s=duration_s,
+            seed=seed,
         )
-        for kind, bucket in (("skywalker", result.skywalker), ("region-local", result.region_local)):
-            workload = build_skewed_workload(scale=scale, seed=seed)
-            config = ExperimentConfig(
-                system=SystemConfig(kind=kind, hash_key="user"),
-                cluster=cluster,
-                duration_s=duration_s,
-                seed=seed,
-            )
-            outcome = run_experiment(config, workload)
-            metrics = outcome.metrics
-            # Per-region tail latency: the overloaded (US) region is the one
-            # a region-local deployment must over-provision for.
-            for region in _REGIONS:
-                ttfts = [r.ttft for r in outcome.completed if r.region == region and r.ttft is not None]
-                if ttfts:
-                    summary = LatencySummary.from_values(ttfts)
-                    metrics.extra[f"{region}_ttft_p90"] = summary.p90
-                    metrics.extra[f"{region}_ttft_p50"] = summary.p50
-            bucket[total] = metrics
+        for total in replica_counts
+        for kind in ("skywalker", "region-local")
+    ]
+    result = DiurnalSweepResult()
+    for cell, metrics in zip(cells, SweepExecutor(workers=workers).map(_run_diurnal_cell, cells)):
+        bucket = result.skywalker if cell.kind == "skywalker" else result.region_local
+        bucket[cell.total_replicas] = metrics
     return result

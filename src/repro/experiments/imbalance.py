@@ -12,8 +12,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..workloads import ConversationConfig, ConversationWorkload, WILDCHAT_LIKE
-from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
 from .runner import run_experiment
+from .systems import CentralizedConfig
 
 __all__ = ["ImbalanceResult", "run_imbalance_experiment"]
 
@@ -58,7 +59,7 @@ def run_imbalance_experiment(
         hash_key="user",
     )
     experiment = ExperimentConfig(
-        system=SystemConfig(kind="round-robin", central_region=region),
+        system=CentralizedConfig(kind="round-robin", central_region=region),
         cluster=ClusterConfig(
             replicas_per_region={region: replicas},
             record_utilization=True,

@@ -83,25 +83,31 @@ def run_macro_benchmark(
     duration_s: float = 120.0,
     cluster: Optional[ClusterConfig] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> MacroResult:
     """Run the Fig. 8 sweep and return all metrics.
 
     Each workload is generated once and replayed across every system via
     ``run_sweep`` (fresh request state per run, identical traffic).
+    ``workers`` > 1 distributes the (workload, system) cells over that many
+    processes; metrics are identical to the serial run for the same seed.
     """
     cluster = cluster or default_macro_cluster(scale)
     specs = [REGISTRY.spec(kind) for kind in systems]
+    built = [
+        MACRO_WORKLOAD_BUILDERS[workload_name](scale=scale, seed=seed)
+        for workload_name in workloads
+    ]
+    sweep = run_sweep(
+        specs,
+        built,
+        cluster=cluster,
+        duration_s=duration_s,
+        seed=seed,
+        workers=workers,
+    )
     result = MacroResult()
-    for workload_name in workloads:
-        workload = MACRO_WORKLOAD_BUILDERS[workload_name](scale=scale, seed=seed)
-        sweep = run_sweep(
-            specs,
-            [workload],
-            cluster=cluster,
-            duration_s=duration_s,
-            seed=seed,
-        )
-        for row in sweep.runs.values():
-            for metrics in row.values():
-                result.add(metrics)
+    for row in sweep.runs.values():
+        for metrics in row.values():
+            result.add(metrics)
     return result

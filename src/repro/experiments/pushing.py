@@ -4,17 +4,23 @@ The paper isolates the pushing mechanism by running everything inside a
 single region (no cross-region effects): 4 replicas, 30 clients, the
 2-branch Tree-of-Thoughts workload, with a prefix-aware router whose pushing
 policy is swapped between BP, SP-O and SP-P.
+
+The variants are one sweep (same workload, one system spec per registered
+pushing-policy name), so they run through the
+:class:`~repro.experiments.sweep.SweepExecutor` and parallelise across
+processes like every other sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..metrics import RunMetrics
 from ..workloads import TreeOfThoughtsConfig, TreeOfThoughtsWorkload
-from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
-from .runner import run_experiment
+from .config import ClusterConfig, WorkloadSpec
+from .sweep import SweepExecutor
+from .systems import SkyWalkerConfig
 
 __all__ = ["PushingResult", "run_pushing_benchmark", "build_single_region_tot_workload"]
 
@@ -33,13 +39,19 @@ class PushingResult:
     def throughput_gain(self, over: str = "BP", policy: str = "SP-P") -> float:
         base = self.runs[over].throughput_tokens_per_s
         if base == 0:
-            return float("inf")
+            raise ValueError(
+                f"baseline run {over!r} completed no tokens (zero throughput); "
+                "cannot compute a throughput gain over an empty run"
+            )
         return self.runs[policy].throughput_tokens_per_s / base
 
     def p90_ttft_reduction(self, over: str = "BP", policy: str = "SP-P") -> float:
         target = self.runs[policy].ttft.p90
         if target == 0:
-            return float("inf")
+            raise ValueError(
+                f"run {policy!r} recorded no first tokens (zero p90 TTFT); "
+                "cannot compute a TTFT reduction against an empty run"
+            )
         return self.runs[over].ttft.p90 / target
 
     def format_report(self) -> str:
@@ -71,22 +83,32 @@ def run_pushing_benchmark(
     sp_o_threshold: int = 24,
     region: str = "us",
     seed: int = 7,
+    workers: int = 1,
 ) -> PushingResult:
-    """Run the BP / SP-O / SP-P comparison in one region."""
-    result = PushingResult()
-    for policy in policies:
-        workload = build_single_region_tot_workload(
-            region=region, clients=clients, seed=seed
-        )
-        system = SystemConfig(
+    """Run the BP / SP-O / SP-P comparison in one region.
+
+    ``policies`` may name any registered pushing policy, not just the
+    paper's three.  ``workers`` > 1 runs the variants in parallel worker
+    processes (identical metrics, less wall-clock).
+    """
+    workload = build_single_region_tot_workload(
+        region=region, clients=clients, seed=seed
+    )
+    systems = [
+        SkyWalkerConfig(
             kind="skywalker",
             label=policy,
             pushing=policy,
             sp_o_threshold=sp_o_threshold,
             hash_key="session",
         )
-        cluster = ClusterConfig(replicas_per_region={region: replicas})
-        config = ExperimentConfig(system=system, cluster=cluster, duration_s=duration_s, seed=seed)
-        outcome = run_experiment(config, workload)
-        result.runs[policy] = outcome.metrics
+        for policy in policies
+    ]
+    cluster = ClusterConfig(replicas_per_region={region: replicas})
+    sweep = SweepExecutor(workers=workers).run(
+        systems, [workload], cluster=cluster, duration_s=duration_s, seed=seed
+    )
+    result = PushingResult()
+    for policy in policies:
+        result.runs[policy] = sweep.get(workload.name, policy)
     return result

@@ -46,8 +46,8 @@ from typing import (
 )
 
 from ..cluster import Deployment, Frontend
-from ..core import GDPRConstraint, SameContinentConstraint
 from ..core.interface import Balancer
+from ..core.policies import make_constraint as _make_named_constraint
 from ..network import Network, NetworkTopology
 from ..sim import Environment
 from ..workloads.request import Request
@@ -148,14 +148,16 @@ class BuildContext:
         return lambda request: request.session_id
 
     def make_constraint(self, constraint: Optional[str]):
-        """Instantiate a named routing constraint (None passes through)."""
+        """Instantiate a named routing constraint (None passes through).
+
+        Names resolve through the constraint registry
+        (:func:`repro.core.policies.register_constraint`), so third-party
+        constraints work anywhere the built-in ``"gdpr"``/``"continent"``
+        do -- including inside sweep worker processes.
+        """
         if constraint is None:
             return None
-        if constraint == "gdpr":
-            return GDPRConstraint(self.topology)
-        if constraint == "continent":
-            return SameContinentConstraint(self.topology)
-        raise ValueError(f"unknown constraint {constraint!r}")
+        return _make_named_constraint(constraint, self.topology)
 
     def attach(self, balancer: Balancer, *, regions: Optional[Sequence[str]] = None) -> Balancer:
         """Finish wiring one balancer: add replicas (all of them, or only the

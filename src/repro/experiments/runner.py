@@ -203,6 +203,7 @@ def run_sweep(
     duration_s: float = 120.0,
     seed: int = 0,
     network_jitter: float = 0.05,
+    workers: int = 1,
 ) -> SweepResult:
     """Run every system variant against every workload.
 
@@ -211,28 +212,22 @@ def run_sweep(
     identical traffic without paying workload generation per run (and
     without sharing mutable request state).
 
+    ``workers`` > 1 runs the (workload, system) cells in that many worker
+    processes via :class:`~repro.experiments.sweep.SweepExecutor`; results
+    are bit-identical to the serial path for the same seeds, parallelism
+    only buys wall-clock.
+
     Results are indexed by each system's display name, so variants of the
     same kind must be disambiguated with ``label`` (otherwise later runs
     would silently overwrite earlier ones).
     """
-    names = [system.name for system in systems]
-    duplicates = sorted({name for name in names if names.count(name) > 1})
-    if duplicates:
-        raise ValueError(
-            f"system variants share display name(s) {duplicates}; "
-            "set label=... on each variant to disambiguate"
-        )
-    cluster = cluster or ClusterConfig()
-    result = SweepResult()
-    for workload in workloads:
-        for system in systems:
-            config = ExperimentConfig(
-                system=system,
-                cluster=cluster,
-                duration_s=duration_s,
-                seed=seed,
-                network_jitter=network_jitter,
-            )
-            outcome = run_experiment(config, workload.fresh_copy())
-            result.add(outcome.metrics)
-    return result
+    from .sweep import SweepExecutor  # deferred: sweep imports this module
+
+    return SweepExecutor(workers=workers).run(
+        systems,
+        workloads,
+        cluster=cluster,
+        duration_s=duration_s,
+        seed=seed,
+        network_jitter=network_jitter,
+    )

@@ -1,0 +1,191 @@
+"""Process-parallel sweep execution.
+
+The paper's headline results (Fig. 8 macro comparison, Fig. 9 pushing
+ablation, Fig. 10 region-local) are all *sweeps*: one workload replayed
+across many system variants.  Every (workload, system) cell is an
+independent simulation -- its own :class:`~repro.sim.Environment`, its own
+seeded network -- so the cells parallelise perfectly across processes.
+
+:class:`SweepExecutor` runs each cell in its own worker process (stdlib
+``concurrent.futures.ProcessPoolExecutor``); ``workers=1`` falls back to the
+plain in-process loop.  Both paths execute the *same* per-cell function on
+the *same* picklable task descriptions, so for a fixed seed the parallel
+sweep is bit-identical to the serial one -- parallelism only buys
+wall-clock, never changes results.
+
+What makes the cells shippable to a worker is that every experiment
+description is *data*: typed system specs are frozen dataclasses whose
+pushing policy, routing constraint and selection policy are plain
+registered *names*, resolved against the corresponding registry inside the
+worker when the system is built (:func:`repro.core.pushing.make_pushing_policy`,
+:func:`repro.core.policies.make_constraint`,
+:func:`repro.core.selection.make_selection_policy`).  Third-party systems
+and policies registered via the ``@register_*`` decorators work unchanged:
+the executor explicitly uses the ``fork`` start method wherever the
+platform offers it, so the workers inherit the parent's registries as-is.
+On spawn-only platforms (Windows) registrations must instead happen at
+import time of a module the task references.
+
+Executors also expose a generic :meth:`SweepExecutor.map` for benchmark
+drivers whose cells need post-processing beyond :class:`RunMetrics`
+(e.g. the Fig. 10 sweep computes per-region tail latencies inside the
+worker) -- any picklable module-level function works.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from ..metrics import RunMetrics
+from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .registry import SystemSpec
+from .runner import SweepResult, run_experiment
+
+__all__ = ["SweepTask", "SweepExecutor", "run_sweep_task"]
+
+SystemLike = Union[SystemConfig, SystemSpec]
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (workload, system) cell of a sweep, fully described as data.
+
+    Everything here is picklable: the system is a typed spec (or the legacy
+    shim) carrying only names and scalars, and the workload is plain
+    programs/requests.  A worker process needs nothing else to reproduce the
+    cell exactly.
+    """
+
+    system: SystemLike
+    workload: WorkloadSpec
+    cluster: ClusterConfig
+    duration_s: float = 120.0
+    seed: int = 0
+    network_jitter: float = 0.05
+
+
+def run_sweep_task(task: SweepTask) -> RunMetrics:
+    """Run one sweep cell and return its metrics.
+
+    Module-level (hence picklable) worker entry point.  The workload is
+    re-instantiated via :meth:`WorkloadSpec.fresh_copy` so the cell never
+    sees request state mutated by a previous run of the same spec -- the
+    serial path reuses one workload object across cells, the parallel path
+    re-runs this exact function in a forked process; either way the traffic
+    is identical.
+    """
+    config = ExperimentConfig(
+        system=task.system,
+        cluster=task.cluster,
+        duration_s=task.duration_s,
+        seed=task.seed,
+        network_jitter=task.network_jitter,
+    )
+    return run_experiment(config, task.workload.fresh_copy()).metrics
+
+
+class SweepExecutor:
+    """Runs sweep cells, optionally across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs every cell
+        in-process, exactly like the historical serial loop.
+    mp_context:
+        Optional :mod:`multiprocessing` context.  Defaults to ``fork``
+        wherever available (it carries parent-process plugin registrations
+        into the workers for free), falling back to the platform default
+        otherwise.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def map(
+        self, fn: Callable[[_Task], _Result], tasks: Iterable[_Task]
+    ) -> List[_Result]:
+        """Apply ``fn`` to every task, preserving task order in the result.
+
+        With ``workers == 1`` (or fewer than two tasks) this is a plain
+        in-process loop; otherwise tasks are distributed over a process
+        pool.  ``fn`` and the tasks must be picklable (module-level
+        function, data-only task objects).
+        """
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) < 2:
+            return [fn(task) for task in tasks]
+        context = self.mp_context
+        if context is None:
+            # Prefer fork explicitly (the platform default may be spawn or
+            # forkserver): forked workers inherit the parent's registries,
+            # so third-party systems/policies registered at runtime resolve
+            # by name inside the worker without any re-import dance.
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks)), mp_context=context
+        ) as pool:
+            return list(pool.map(fn, tasks))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        systems: Sequence[SystemLike],
+        workloads: Sequence[WorkloadSpec],
+        *,
+        cluster: Optional[ClusterConfig] = None,
+        duration_s: float = 120.0,
+        seed: int = 0,
+        network_jitter: float = 0.05,
+    ) -> SweepResult:
+        """Run every system variant against every workload.
+
+        Each workload is built **once** by the caller and replayed across
+        the system variants (fresh request state per cell), so variants see
+        identical traffic without paying workload generation per run.
+
+        Results are indexed by each system's display name, so variants of
+        the same kind must be disambiguated with ``label`` (otherwise later
+        runs would silently overwrite earlier ones).
+        """
+        names = [system.name for system in systems]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"system variants share display name(s) {duplicates}; "
+                "set label=... on each variant to disambiguate"
+            )
+        cluster = cluster or ClusterConfig()
+        tasks = [
+            SweepTask(
+                system=system,
+                workload=workload,
+                cluster=cluster,
+                duration_s=duration_s,
+                seed=seed,
+                network_jitter=network_jitter,
+            )
+            for workload in workloads
+            for system in systems
+        ]
+        result = SweepResult()
+        for metrics in self.map(run_sweep_task, tasks):
+            result.add(metrics)
+        return result

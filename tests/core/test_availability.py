@@ -91,6 +91,44 @@ def test_remote_balancer_availability_follows_probe_state(env, monitor):
     assert backlogged_peer not in available
 
 
+def test_attaching_an_already_failed_peer_is_not_available(env, monitor):
+    """Regression: the seed probe used to hard-code ``healthy=True``, so a
+    peer that was already down when attached (controller failover
+    re-wiring) was selected as a forward target until the first real probe
+    landed.  The seed must mirror the peer's live state instead."""
+    dead_peer = StubPeer("lb-eu", "eu", available_replicas=2, healthy=False)
+    monitor.add_remote_balancer(dead_peer)
+    # No probe cycle has run yet: the seed alone must already exclude it.
+    assert monitor.available_remote_balancers() == []
+    probe = monitor.balancer_probes[dead_peer.name]
+    assert not probe.healthy
+
+
+def test_attach_seeds_peer_probe_from_live_state(env, monitor):
+    peer = StubPeer("lb-eu", "eu", available_replicas=3, queue=2)
+    monitor.add_remote_balancer(peer)
+    probe = monitor.balancer_probes[peer.name]
+    assert probe.healthy
+    assert probe.num_available_replicas == 3
+    assert probe.queue_size == 2
+
+
+def test_attaching_a_peer_with_no_free_replicas_is_not_available(env, monitor):
+    saturated = StubPeer("lb-asia", "asia", available_replicas=0)
+    monitor.add_remote_balancer(saturated)
+    assert monitor.available_remote_balancers() == []
+
+
+def test_dispatched_since_probe_public_accessor(env, monitor, make_tiny_replica):
+    replica = make_tiny_replica("us")
+    monitor.add_local_replica(replica)
+    assert monitor.dispatched_since_probe(replica.name) == 0
+    monitor.note_dispatch(replica.name)
+    monitor.note_dispatch(replica.name)
+    assert monitor.dispatched_since_probe(replica.name) == 2
+    assert monitor.dispatched_since_probe("never-seen") == 0
+
+
 def test_unhealthy_peer_is_excluded_after_probe(env, monitor):
     peer = StubPeer("lb-eu", "eu", available_replicas=2)
     monitor.add_remote_balancer(peer)

@@ -258,6 +258,21 @@ def test_invalid_routing_policy_rejected(env, network):
         SkyWalkerBalancer(env, "bad", "us", network, routing="magic")
 
 
+def test_registered_selection_policy_resolves_as_routing_name(env, network):
+    from repro.core import PrefixTreeSelection, register_selection_policy, unregister_selection_policy
+
+    @register_selection_policy("unit-test-routing")
+    class UnitTestSelection(PrefixTreeSelection):
+        routing = "unit-test-routing"
+
+    try:
+        balancer = SkyWalkerBalancer(env, "custom", "us", network, routing="unit-test-routing")
+        assert isinstance(balancer.selection, UnitTestSelection)
+        assert balancer.routing == "unit-test-routing"
+    finally:
+        unregister_selection_policy("unit-test-routing")
+
+
 def test_fail_strands_queued_requests_and_recover_restarts(env, network, make_tiny_replica):
     balancer = make_balancer(env, network, "us")
     balancer.add_replica(make_tiny_replica("us"))
@@ -272,6 +287,49 @@ def test_fail_strands_queued_requests_and_recover_restarts(env, network, make_ti
     assert balancer.take_stranded() == []
     balancer.recover()
     assert balancer.healthy
+
+
+def test_recover_clears_prefix_trees_but_keeps_rings(env, network, make_tiny_replica):
+    """Regression: a recovered balancer must not route on pre-failure
+    affinity data -- the replicas' caches were churned by the takeover
+    balancer while it was down.  Membership-derived state (hash rings)
+    stays; the controller re-drives membership itself."""
+    us = make_balancer(env, network, "us")
+    eu = make_balancer(env, network, "eu")
+    replica = make_tiny_replica("us")
+    us.add_replica(replica)
+    us.add_peer(eu)
+    prompt = tuple(range(64))
+    us.replica_trie.insert(prompt, replica.name)
+    us.snapshot_trie.insert(prompt, eu.name)
+    assert us.replica_trie.total_tokens > 0
+
+    us.start()
+    env.run(until=0.01)
+    us.fail()
+    us.recover()
+
+    assert us.healthy
+    assert us.replica_trie.total_tokens == 0
+    assert us.snapshot_trie.total_tokens == 0
+    assert us.replica_trie.best_target(prompt, [replica.name]).target is None
+    assert us.snapshot_trie.best_target(prompt, [eu.name]).target is None
+    # Rings survive: membership is re-driven by the controller, not lost.
+    assert replica.name in us.replica_ring
+    assert eu.name in us.balancer_ring
+
+
+def test_estimated_load_uses_public_dispatch_accessor(env, network, make_tiny_replica):
+    balancer = make_balancer(env, network, "us")
+    replica = make_tiny_replica("us")
+    balancer.add_replica(replica)
+    # Optimistic seed probe reports zero outstanding; two un-probed
+    # dispatches must still be counted.
+    assert balancer.estimated_load(replica) == 0
+    balancer.monitor.note_dispatch(replica.name)
+    balancer.monitor.note_dispatch(replica.name)
+    assert balancer.monitor.dispatched_since_probe(replica.name) == 2
+    assert balancer.estimated_load(replica) == 2
 
 
 # ----------------------------------------------------------------------

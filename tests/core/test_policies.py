@@ -1,11 +1,17 @@
 """Unit tests for routing constraints (GDPR, continent, deny lists)."""
 
+import pytest
+
 from repro.core import (
     AllowAll,
     CompositeConstraint,
     DenyRegions,
     GDPRConstraint,
     SameContinentConstraint,
+    make_constraint,
+    register_constraint,
+    registered_constraints,
+    unregister_constraint,
 )
 from repro.network import default_topology, wide_topology
 
@@ -61,3 +67,46 @@ def test_filter_regions_helper():
     constraint = GDPRConstraint(default_topology())
     eu_request = make_request(region="eu")
     assert constraint.filter_regions(eu_request, "eu", ["us", "eu", "asia"]) == ["eu"]
+
+
+# ----------------------------------------------------------------------
+# the constraint registry
+# ----------------------------------------------------------------------
+def test_builtin_constraints_are_registered():
+    assert {"allow-all", "gdpr", "continent"} <= set(registered_constraints())
+
+
+def test_make_constraint_builds_each_builtin():
+    topology = default_topology()
+    assert isinstance(make_constraint("allow-all", topology), AllowAll)
+    assert isinstance(make_constraint("gdpr", topology), GDPRConstraint)
+    assert isinstance(make_constraint("continent", topology), SameContinentConstraint)
+    # Lookup is case-insensitive.
+    assert isinstance(make_constraint("GDPR", topology), GDPRConstraint)
+
+
+def test_third_party_constraint_registers_and_resolves_by_name():
+    @register_constraint("no-asia")
+    def _no_asia(topology):
+        return DenyRegions({"asia"})
+
+    try:
+        assert "no-asia" in registered_constraints()
+        constraint = make_constraint("no-asia", default_topology())
+        request = make_request(region="us")
+        assert constraint.allows(request, "us", "eu")
+        assert not constraint.allows(request, "us", "asia")
+    finally:
+        unregister_constraint("no-asia")
+    with pytest.raises(ValueError):
+        make_constraint("no-asia", default_topology())
+
+
+def test_duplicate_constraint_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_constraint("gdpr")(GDPRConstraint)
+
+
+def test_unknown_constraint_error_names_registered():
+    with pytest.raises(ValueError, match="registered constraints"):
+        make_constraint("lunar", default_topology())

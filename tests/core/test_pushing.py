@@ -4,9 +4,13 @@ import pytest
 
 from repro.core import (
     BlindPushing,
+    PushingPolicy,
     SelectivePushingOutstanding,
     SelectivePushingPending,
     make_pushing_policy,
+    register_pushing_policy,
+    registered_pushing_policies,
+    unregister_pushing_policy,
 )
 from repro.core.pushing import ReplicaProbe
 
@@ -125,5 +129,38 @@ def test_factory_builds_each_policy():
 
 
 def test_factory_rejects_unknown_policy():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="registered policies"):
         make_pushing_policy("magic")
+
+
+# ----------------------------------------------------------------------
+# the pushing-policy registry
+# ----------------------------------------------------------------------
+def test_builtin_policies_are_registered():
+    assert {"BP", "SP-O", "SP-P"} <= set(registered_pushing_policies())
+
+
+def test_third_party_policy_registers_and_resolves_by_name():
+    @register_pushing_policy("never-push")
+    class NeverPush(PushingPolicy):
+        name = "never-push"
+
+        def replica_available(self, probe, dispatched_since_probe):
+            return False
+
+    try:
+        assert "NEVER-PUSH" in registered_pushing_policies()
+        policy = make_pushing_policy("never-push")
+        assert isinstance(policy, NeverPush)
+        assert not policy.replica_available(probe(), 0)
+        # Lookup is case-insensitive, like the built-in names.
+        assert isinstance(make_pushing_policy("Never-Push"), NeverPush)
+    finally:
+        unregister_pushing_policy("never-push")
+    with pytest.raises(ValueError):
+        make_pushing_policy("never-push")
+
+
+def test_duplicate_policy_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_pushing_policy("bp")(BlindPushing)

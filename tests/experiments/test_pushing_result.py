@@ -1,0 +1,56 @@
+"""Unit tests for :class:`PushingResult` ratio helpers.
+
+Regression: a zero baseline (a run that completed nothing) used to yield
+``float("inf")``, which silently poisoned downstream report formatting.
+Empty runs must instead fail loudly, naming the offending run.
+"""
+
+import pytest
+
+from repro.experiments import PushingResult
+from repro.metrics import LatencySummary, RunMetrics
+
+
+def make_metrics(system: str, *, throughput: float, ttft_p90: float) -> RunMetrics:
+    ttft_values = [ttft_p90] if ttft_p90 > 0 else []
+    return RunMetrics(
+        system=system,
+        workload="tot-single-region",
+        duration_s=10.0,
+        num_completed=1 if throughput > 0 else 0,
+        num_issued=1,
+        throughput_tokens_per_s=throughput,
+        output_tokens_per_s=throughput / 2,
+        requests_per_s=0.1,
+        ttft=LatencySummary.from_values(ttft_values),
+        e2e_latency=LatencySummary.from_values(ttft_values),
+        queueing_delay=LatencySummary.from_values([]),
+        cache_hit_rate=0.0,
+        cross_region_fraction=0.0,
+        forwarded_fraction=0.0,
+        replica_load_imbalance=1.0,
+    )
+
+
+def test_gains_computed_for_non_empty_runs():
+    result = PushingResult()
+    result.runs["BP"] = make_metrics("BP", throughput=100.0, ttft_p90=2.0)
+    result.runs["SP-P"] = make_metrics("SP-P", throughput=150.0, ttft_p90=0.5)
+    assert result.throughput_gain("BP", "SP-P") == pytest.approx(1.5)
+    assert result.p90_ttft_reduction("BP", "SP-P") == pytest.approx(4.0)
+
+
+def test_zero_throughput_baseline_raises_naming_the_run():
+    result = PushingResult()
+    result.runs["BP"] = make_metrics("BP", throughput=0.0, ttft_p90=0.0)
+    result.runs["SP-P"] = make_metrics("SP-P", throughput=150.0, ttft_p90=0.5)
+    with pytest.raises(ValueError, match="'BP'"):
+        result.throughput_gain("BP", "SP-P")
+
+
+def test_zero_ttft_target_raises_naming_the_run():
+    result = PushingResult()
+    result.runs["BP"] = make_metrics("BP", throughput=100.0, ttft_p90=2.0)
+    result.runs["SP-P"] = make_metrics("SP-P", throughput=0.0, ttft_p90=0.0)
+    with pytest.raises(ValueError, match="'SP-P'"):
+        result.p90_ttft_reduction("BP", "SP-P")

@@ -135,6 +135,47 @@ def test_unknown_constraint_raises(stack):
         build(SystemConfig(kind="skywalker", constraint="lunar"), stack)
 
 
+# ----------------------------------------------------------------------
+# pushing policies through build_system
+# ----------------------------------------------------------------------
+def test_pushing_policies_resolve_by_registered_name(stack):
+    from repro.core import BlindPushing, SelectivePushingOutstanding
+
+    balancers = build(SkyWalkerConfig(kind="skywalker", pushing="BP"), stack)
+    assert all(isinstance(b.pushing_policy, BlindPushing) for b in balancers)
+
+    env, network, deployment, _ = stack
+    balancers = build_system(
+        SkyWalkerConfig(kind="skywalker", pushing="SP-O", sp_o_threshold=5),
+        env, network, deployment, Frontend(env, network),
+    )
+    assert all(isinstance(b.pushing_policy, SelectivePushingOutstanding) for b in balancers)
+    assert all(b.pushing_policy.max_outstanding == 5 for b in balancers)
+
+
+def test_third_party_pushing_policy_via_skywalker_config(stack):
+    from repro.core import (
+        SelectivePushingPending,
+        register_pushing_policy,
+        unregister_pushing_policy,
+    )
+
+    @register_pushing_policy("sp-test")
+    class TestPushing(SelectivePushingPending):
+        name = "sp-test"
+
+    try:
+        balancers = build(SkyWalkerConfig(kind="skywalker", pushing="sp-test"), stack)
+        assert all(isinstance(b.pushing_policy, TestPushing) for b in balancers)
+    finally:
+        unregister_pushing_policy("sp-test")
+
+
+def test_unknown_pushing_policy_raises_at_build(stack):
+    with pytest.raises(ValueError, match="unknown pushing policy"):
+        build(SkyWalkerConfig(kind="skywalker", pushing="magic"), stack)
+
+
 def test_typed_spec_constraint_through_build_system(stack):
     balancers = build(SkyWalkerConfig(kind="skywalker", constraint="continent"), stack)
     assert all(isinstance(b.constraint, SameContinentConstraint) for b in balancers)
