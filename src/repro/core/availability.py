@@ -19,8 +19,7 @@ the pushing policy take that into account.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+from typing import Dict, Iterable, List, NamedTuple, Optional, TYPE_CHECKING
 
 from ..network import Network
 from ..replica import ReplicaServer
@@ -33,8 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["LoadBalancerProbe", "AvailabilityMonitor"]
 
 
-@dataclass(frozen=True)
-class LoadBalancerProbe:
+class LoadBalancerProbe(NamedTuple):
     """Snapshot of a peer load balancer's advertised state."""
 
     balancer_name: str
@@ -74,6 +72,13 @@ class AvailabilityMonitor:
         self._dispatched_since_probe: Dict[str, int] = {}
         self._forwarded_since_probe: Dict[str, int] = {}
 
+        #: Bumped whenever any input of a replica load estimate changes (a
+        #: probe landing or a dispatch being recorded).  Selection policies
+        #: memoise ``estimated_load`` per version, so a request that ranks
+        #: many candidates computes each load once per probe epoch instead
+        #: of once per comparison.
+        self.load_version = 0
+
         self._change_event: Event = env.event()
         self._process = None
 
@@ -83,6 +88,7 @@ class AvailabilityMonitor:
     def add_local_replica(self, replica: ReplicaServer) -> None:
         self._local_replicas[replica.name] = replica
         self._dispatched_since_probe.setdefault(replica.name, 0)
+        self.load_version += 1
         # Seed with an optimistic probe so the system can route before the
         # first heartbeat completes.
         self.replica_probes[replica.name] = ReplicaProbe(
@@ -99,6 +105,7 @@ class AvailabilityMonitor:
         self._local_replicas.pop(replica_name, None)
         self.replica_probes.pop(replica_name, None)
         self._dispatched_since_probe.pop(replica_name, None)
+        self.load_version += 1
 
     def add_remote_balancer(self, balancer: "SkyWalkerBalancer") -> None:
         self._remote_balancers[balancer.name] = balancer
@@ -176,6 +183,7 @@ class AvailabilityMonitor:
             probe_time=self.env.now,
         )
         self._dispatched_since_probe[replica.name] = 0
+        self.load_version += 1
 
     # ------------------------------------------------------------------
     # queries used by the balancer
@@ -220,6 +228,7 @@ class AvailabilityMonitor:
         self._dispatched_since_probe[replica_name] = (
             self._dispatched_since_probe.get(replica_name, 0) + 1
         )
+        self.load_version += 1
 
     def note_forward(self, balancer_name: str) -> None:
         """Record that a request was just forwarded to a peer balancer."""

@@ -126,6 +126,13 @@ class SkyWalkerBalancer(BalancerBase):
         #: Requests left behind by a failure, pending controller re-routing.
         self.stranded: List[Request] = []
 
+        # Per-probe-epoch memo for estimated_load: selection policies rank
+        # every candidate against every other (imbalance + least-load), so
+        # without the memo each load is recomputed per comparison per
+        # request.  The monitor bumps load_version whenever an input moves.
+        self._load_cache: Dict[str, int] = {}
+        self._load_cache_version = -1
+
         # Statistics.
         self.received_forwards = 0
         self.local_dispatches = 0
@@ -310,9 +317,18 @@ class SkyWalkerBalancer(BalancerBase):
     # load estimates shared with the selection policies
     # ------------------------------------------------------------------
     def estimated_load(self, replica: ReplicaServer) -> int:
-        probe = self.monitor.replica_probes.get(replica.name)
-        outstanding = probe.num_outstanding if probe else 0
-        return outstanding + self.monitor.dispatched_since_probe(replica.name)
+        monitor = self.monitor
+        if monitor.load_version != self._load_cache_version:
+            self._load_cache_version = monitor.load_version
+            self._load_cache.clear()
+        name = replica.name
+        load = self._load_cache.get(name)
+        if load is None:
+            probe = monitor.replica_probes.get(name)
+            outstanding = probe.num_outstanding if probe else 0
+            load = outstanding + monitor.dispatched_since_probe(name)
+            self._load_cache[name] = load
+        return load
 
     def severely_imbalanced(
         self, preferred: ReplicaServer, candidates: List[ReplicaServer]
@@ -362,5 +378,7 @@ class SkyWalkerBalancer(BalancerBase):
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"<SkyWalkerBalancer {self.name} region={self.region} routing={self.routing} "
-            f"replicas={len(self._replicas)} peers={len(self._peers)} queue={self.queue_size}>"
+            f"replicas={len(self._replicas)} peers={len(self._peers)} queue={self.queue_size} "
+            f"trie={len(self.replica_trie)}n/{self.replica_trie.total_tokens}tok "
+            f"snapshot={len(self.snapshot_trie)}n/{self.snapshot_trie.total_tokens}tok>"
         )

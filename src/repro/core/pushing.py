@@ -27,8 +27,7 @@ including inside sweep worker processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, NamedTuple, Tuple
 
 from ._registry import NameRegistry
 
@@ -48,9 +47,13 @@ __all__ = [
 PushingPolicyFactory = Callable[..., "PushingPolicy"]
 
 
-@dataclass(frozen=True)
-class ReplicaProbe:
-    """A point-in-time snapshot of one replica's observable load."""
+class ReplicaProbe(NamedTuple):
+    """A point-in-time snapshot of one replica's observable load.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is constructed per
+    replica per probe cycle, and tuple construction is several times
+    cheaper than ``object.__setattr__``-based frozen-dataclass init.
+    """
 
     replica_name: str
     healthy: bool

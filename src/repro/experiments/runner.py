@@ -173,9 +173,17 @@ class SweepResult:
     """Metrics for every (workload, system) pair of a sweep."""
 
     runs: Dict[str, Dict[str, RunMetrics]] = field(default_factory=dict)
+    #: Host wall-clock seconds per cell (``cell_seconds[workload][system]``),
+    #: recorded by the sweep executor so benchmark logs show where the run's
+    #: time went.  Not part of any bit-identity comparison.
+    cell_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def add(self, metrics: RunMetrics) -> None:
         self.runs.setdefault(metrics.workload, {})[metrics.system] = metrics
+        if metrics.wall_clock_s is not None:
+            self.cell_seconds.setdefault(metrics.workload, {})[
+                metrics.system
+            ] = metrics.wall_clock_s
 
     def workloads(self) -> List[str]:
         return list(self.runs)
@@ -186,12 +194,20 @@ class SweepResult:
     def get(self, workload: str, system: str) -> RunMetrics:
         return self.runs[workload][system]
 
+    def wall_clock(self, workload: str, system: str) -> Optional[float]:
+        """Host seconds one cell took, or ``None`` if it predates recording."""
+        return self.cell_seconds.get(workload, {}).get(system)
+
     def format_report(self) -> str:
         lines: List[str] = []
         for workload, row in self.runs.items():
             lines.append(f"== {workload} ==")
             for metrics in row.values():
-                lines.append("  " + metrics.format_row())
+                line = "  " + metrics.format_row()
+                seconds = self.wall_clock(workload, metrics.system)
+                if seconds is not None:
+                    line += f"  wall={seconds:6.2f}s"
+                lines.append(line)
         return "\n".join(lines)
 
 

@@ -35,6 +35,7 @@ worker) -- any picklable module-level function works.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
@@ -86,7 +87,13 @@ def run_sweep_task(task: SweepTask) -> RunMetrics:
         seed=task.seed,
         network_jitter=task.network_jitter,
     )
-    return run_experiment(config, task.workload.fresh_copy()).metrics
+    start = time.perf_counter()
+    metrics = run_experiment(config, task.workload.fresh_copy()).metrics
+    # Recorded on the metrics object (picklable, so it survives the trip
+    # back from a worker process) but excluded from to_dict(): wall-clock
+    # is where-the-time-went telemetry, not part of the result identity.
+    metrics.wall_clock_s = time.perf_counter() - start
+    return metrics
 
 
 class SweepExecutor:

@@ -54,6 +54,12 @@ class RunMetrics:
     per_replica_completed: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
+    #: Host wall-clock seconds the cell took to simulate (set by the sweep
+    #: executor in both serial and worker-process modes).  Deliberately NOT
+    #: part of :meth:`to_dict`: host timing is machine noise, and to_dict is
+    #: the payload the serial-vs-parallel bit-identity checks compare.
+    wall_clock_s: Optional[float] = None
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -1,0 +1,26 @@
+"""Hot-path performance benchmark subsystem (stdlib-only).
+
+``repro.perf.run_suite()`` times the router/replica hot paths — prefix-tree
+lookup/insert/eviction, radix-cache eviction/admission, and one full Fig. 8
+wildchat sweep cell — and emits ``BENCH_hotpaths.json``.  See PERFORMANCE.md
+for how to run it and how to read the committed before/after report.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf --quick   # CI-sized smoke run
+    from repro.perf import run_suite
+    payload = run_suite(quick=True, out_path=None)
+"""
+
+from .harness import alloc_peak_bytes, loglog_slope, time_op
+from .suite import REPORT_SCHEMA, SUITE_SCHEMA, run_suite, write_report
+
+__all__ = [
+    "run_suite",
+    "write_report",
+    "time_op",
+    "alloc_peak_bytes",
+    "loglog_slope",
+    "SUITE_SCHEMA",
+    "REPORT_SCHEMA",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` — run the hot-path benchmark suite."""
+
+import sys
+
+from .suite import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Stdlib-only measurement primitives for the hot-path benchmark suite.
+
+Two measurements matter for this repo's hot paths:
+
+* **wall time per operation** — :func:`time_op` runs a callable in batches
+  and reports the best batch (the standard way to suppress scheduler noise
+  without external dependencies), and
+* **transient allocation volume per operation** — :func:`alloc_peak_bytes`
+  uses :mod:`tracemalloc` to record how far the Python heap grows while one
+  operation runs.  Slicing token tuples and materialising availability sets
+  show up here even though the garbage is freed immediately afterwards,
+  which is exactly what "allocation-free hot path" claims need to measure.
+
+Everything is deterministic given the caller's inputs; no wall-clock value
+is ever fed back into benchmark *workloads* (only into results).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["time_op", "alloc_peak_bytes", "loglog_slope", "BenchResult"]
+
+#: One benchmark's results: flat JSON-ready mapping.
+BenchResult = Dict[str, float]
+
+
+def time_op(
+    fn: Callable[[], object],
+    *,
+    number: int = 1000,
+    repeats: int = 5,
+    setup: Callable[[], object] = None,
+) -> float:
+    """Best per-call wall time (seconds) of ``fn`` over ``repeats`` batches.
+
+    ``setup`` (when given) runs before *each* batch, outside the timed
+    region — use it to rebuild state that the measured operation consumes
+    (e.g. refill a tree that eviction drains).
+    """
+    best = float("inf")
+    perf = time.perf_counter
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = perf()
+        for _ in range(number):
+            fn()
+        elapsed = perf() - start
+        best = min(best, elapsed / number)
+    return best
+
+
+def alloc_peak_bytes(fn: Callable[[], object], *, number: int = 50) -> float:
+    """Average peak heap growth (bytes) of one ``fn`` call.
+
+    The peak is reset before every call, so retained garbage from earlier
+    iterations does not accumulate into later measurements; what remains is
+    the transient allocation high-water mark of a single operation.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        total = 0.0
+        for _ in range(number):
+            tracemalloc.reset_peak()
+            before, _ = tracemalloc.get_traced_memory()
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+            total += max(0, peak - before)
+        return total / number
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+
+
+def loglog_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of ``log(y)`` against ``log(x)``.
+
+    For a per-operation cost measured at increasing structure sizes the
+    slope approximates the polynomial order: ~1 for a linear scan per op,
+    ~0 for O(1)/O(log n).  Only sizes with positive cost contribute.
+    """
+    import math
+
+    xs: List[float] = []
+    ys: List[float] = []
+    for x, y in points:
+        if x > 0 and y > 0:
+            xs.append(math.log(x))
+            ys.append(math.log(y))
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from ..workloads.request import Request, RequestStatus
-from .memory import KVMemoryManager
+from .memory import AdmissionGrant, KVMemoryManager
 from .model_profile import ModelProfile
 
 __all__ = ["RunningSequence", "StepPlan", "ContinuousBatcher"]
@@ -36,6 +36,9 @@ class RunningSequence:
     cached_tokens: int
     new_prompt_tokens: int
     generated: int = 0
+    #: The memory grant backing this sequence; lets the per-token decode
+    #: loop update output accounting without a request-id dict lookup.
+    grant: Optional[AdmissionGrant] = None
 
     @property
     def remaining(self) -> int:
@@ -130,6 +133,7 @@ class ContinuousBatcher:
                 request=request,
                 cached_tokens=grant.cached_tokens,
                 new_prompt_tokens=grant.new_prompt_tokens,
+                grant=grant,
             )
             request.status = RequestStatus.RUNNING
             request.schedule_time = now
@@ -181,9 +185,10 @@ class ContinuousBatcher:
                 admitted=admitted,
             )
         if self.running:
-            context = sum(
-                self.memory.context_tokens(seq.request.request_id) for seq in self.running
-            )
+            # All grants belong to running sequences (and vice versa), so the
+            # memory manager's running total IS this batch's context size —
+            # no per-sequence recount on the decode hot path.
+            context = self.memory.context_tokens_total
             return StepPlan(
                 kind="decode",
                 duration=self.profile.decode_step_time(len(self.running), context),
@@ -210,22 +215,36 @@ class ContinuousBatcher:
     def complete_decode_step(self, now: float) -> List[Request]:
         """Every running sequence gains one token; return those that finished."""
         finished: List[Request] = []
-        for seq in list(self.running):
+        survivors: List[RunningSequence] = []
+        running = self.running
+        # Credit the whole step's output tokens up front; each sequence's
+        # grant is bumped inside the loop, so by the time a finished
+        # request's release() subtracts its grant the totals agree.
+        self.memory.note_generated(len(running))
+        self.total_generated_tokens += len(running)
+        for seq in running:
             seq.generated += 1
-            seq.request.generated_tokens = seq.generated
-            self.memory.add_output_token(seq.request.request_id)
-            self.total_generated_tokens += 1
-            if seq.request.first_token_time is None:
-                seq.request.first_token_time = now
-            if seq.done:
-                finished.append(self._finish(seq, now))
+            seq.grant.output_tokens += 1
+            request = seq.request
+            request.generated_tokens = seq.generated
+            if request.first_token_time is None:
+                request.first_token_time = now
+            if seq.generated >= request.output_len:
+                finished.append(self._finish(seq, now, unlink=False))
+            else:
+                survivors.append(seq)
+        if finished:
+            # One list rebuild instead of an O(batch) ``remove`` per
+            # completion (order of the survivors is preserved).
+            self.running = survivors
         return finished
 
-    def _finish(self, seq: RunningSequence, now: float) -> Request:
+    def _finish(self, seq: RunningSequence, now: float, *, unlink: bool = True) -> Request:
         request = seq.request
         request.status = RequestStatus.FINISHED
         request.finish_time = now
-        self.running.remove(seq)
+        if unlink:
+            self.running.remove(seq)
         del self._by_id[request.request_id]
         # Multi-turn conversations resend the whole history, so caching the
         # prompt (already in the tree) is what matters; we do not re-insert

@@ -12,11 +12,28 @@ The simulator uses the cache for two purposes:
 * inside SkyWalker's load balancer, where the same data structure (without
   memory accounting) tracks which *targets* have seen which prefixes
   (:mod:`repro.core.prefix_tree` builds on the node layout defined here).
+
+Hot-path design:
+
+* **LRU eviction is O(log n)** via a lazy min-heap over unlocked leaves
+  keyed by ``(last_access, entry_id)``.  Every touch of a leaf pushes a
+  fresh entry; stale entries (node re-touched, locked, grown children, or
+  detached) are skipped at pop time.  The ``entry_id`` makes the order
+  among equal ``last_access`` values deterministic (earliest-recorded
+  first) without ever comparing nodes.
+* **``evictable_tokens`` is O(1)**: a running counter of tokens on
+  unlocked non-root edges, maintained by insert/split/lock/unlock/evict.
+  The replica's admission path calls it per request, so the old full-tree
+  recount was a per-request linear scan.
+* **Lookups descend by offset** into the caller's token sequence instead
+  of slicing suffix tuples.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["RadixNode", "RadixCache", "MatchResult"]
@@ -84,15 +101,6 @@ class MatchResult:
         return self.nodes[-1] if self.nodes else None
 
 
-def _common_prefix_len(a: Sequence[int], b: Sequence[int]) -> int:
-    """Length of the longest common prefix of two token runs."""
-    limit = min(len(a), len(b))
-    i = 0
-    while i < limit and a[i] == b[i]:
-        i += 1
-    return i
-
-
 class RadixCache:
     """A size-bounded radix tree over token sequences with LRU eviction.
 
@@ -110,9 +118,15 @@ class RadixCache:
         self.capacity_tokens = capacity_tokens
         self.root = RadixNode()
         self._total_tokens = 0
+        self._evictable_tokens = 0
+        self._node_count = 0
         # Monotonic counters for cache-hit statistics.
         self.lookup_tokens = 0
         self.hit_tokens = 0
+        #: Lazy LRU heap over unlocked leaves: ``(last_access, entry_id,
+        #: node)``; see the module docstring.
+        self._leaf_heap: List[Tuple[float, int, RadixNode]] = []
+        self._entry_ids = itertools.count()
 
     # ------------------------------------------------------------------
     @property
@@ -128,6 +142,37 @@ class RadixCache:
         return self.hit_tokens / self.lookup_tokens
 
     # ------------------------------------------------------------------
+    # LRU bookkeeping
+    # ------------------------------------------------------------------
+    def _note_leaf(self, node: RadixNode) -> None:
+        """Record an eviction-heap entry if ``node`` is an unlocked leaf.
+
+        Called whenever a node's ``last_access`` changes or it (re)gains
+        leaf/unlocked status; stale entries die lazily at pop time.
+        """
+        if not node.children and node.lock_count == 0 and node.parent is not None:
+            heap = self._leaf_heap
+            heappush(heap, (node.last_access, next(self._entry_ids), node))
+            # Caches that never hit capacity never pop, so stale entries
+            # (and the detached nodes they reference) would otherwise pile
+            # up for the whole run; compact once the heap clearly outgrows
+            # the live tree.
+            if len(heap) > 64 and len(heap) > 4 * self._node_count:
+                self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop stale entries, keeping the first-popping entry per leaf."""
+        live: Dict[int, Tuple[float, int, RadixNode]] = {}
+        for entry in self._leaf_heap:
+            if self._entry_live(entry[0], entry[2]):
+                key = id(entry[2])
+                previous = live.get(key)
+                if previous is None or entry < previous:
+                    live[key] = entry
+        self._leaf_heap = list(live.values())
+        heapify(self._leaf_heap)
+
+    # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def match_prefix(self, tokens: Sequence[int], now: float = 0.0, *, record: bool = True) -> MatchResult:
@@ -138,23 +183,42 @@ class RadixCache:
         block is split on insert, not on lookup).  ``matched_tokens`` however
         reports the exact token-level overlap, which is what determines how
         much prefill compute is saved.
+
+        Note that the lookup touches ``last_access`` on the matched path
+        even with ``record=False`` and the default ``now=0.0`` — historical
+        touch-on-read semantics that sized-cache callers rely on for
+        bit-reproducibility; pass the real clock if recency matters.
         """
         node = self.root
         matched = 0
         nodes: List[RadixNode] = []
         idx = 0
         n = len(tokens)
+        if not isinstance(tokens, tuple):
+            tokens = tuple(tokens)
         while idx < n:
             child = node.children.get(tokens[idx])
             if child is None:
                 break
-            overlap = _common_prefix_len(child.key, tokens[idx:])
+            key = child.key
+            klen = len(key)
+            # Full-edge comparisons dominate multi-turn lookups (the resent
+            # history matches whole edges); one C-level tuple comparison
+            # beats a Python loop over thousands of tokens.
+            if klen <= n - idx and tokens[idx : idx + klen] == key:
+                overlap = klen
+            else:
+                limit = min(klen, n - idx)
+                overlap = 0
+                while overlap < limit and key[overlap] == tokens[idx + overlap]:
+                    overlap += 1
             if overlap == 0:
                 break
             matched += overlap
             idx += overlap
             child.last_access = now
-            if overlap == len(child.key):
+            self._note_leaf(child)
+            if overlap == len(key):
                 nodes.append(child)
                 node = child
             else:
@@ -193,11 +257,23 @@ class RadixCache:
                 new_node.last_access = now
                 node.children[tokens[idx]] = new_node
                 self._total_tokens += take
+                self._evictable_tokens += take
+                self._node_count += 1
                 added += take
+                self._note_leaf(new_node)
                 break
-            overlap = _common_prefix_len(child.key, tokens[idx:])
+            key = child.key
+            klen = len(key)
+            if klen <= n - idx and tokens[idx : idx + klen] == key:
+                overlap = klen
+            else:
+                limit = min(klen, n - idx)
+                overlap = 0
+                while overlap < limit and key[overlap] == tokens[idx + overlap]:
+                    overlap += 1
             child.last_access = now
-            if overlap == len(child.key):
+            self._note_leaf(child)
+            if overlap == klen:
                 node = child
                 idx += overlap
                 continue
@@ -226,6 +302,11 @@ class RadixCache:
         node.key = node.key[offset:]
         node.parent = upper
         upper.children = {node.key[0]: node}
+        self._node_count += 1
+        # The edge's tokens are merely redistributed between the two halves
+        # and both share the lock state, so ``_evictable_tokens`` is
+        # unchanged.  The lower half's heap entries stay valid: validation
+        # is by object identity and current attachment, not by key.
         return upper
 
     # ------------------------------------------------------------------
@@ -234,6 +315,8 @@ class RadixCache:
     def lock(self, node: Optional[RadixNode]) -> None:
         """Pin ``node`` and all of its ancestors (a running request's prefix)."""
         while node is not None and not node.is_root:
+            if node.lock_count == 0:
+                self._evictable_tokens -= len(node.key)
             node.lock_count += 1
             node = node.parent
 
@@ -243,48 +326,105 @@ class RadixCache:
             if node.lock_count <= 0:
                 raise RuntimeError("unlock without matching lock")
             node.lock_count -= 1
+            if node.lock_count == 0:
+                self._evictable_tokens += len(node.key)
+                self._note_leaf(node)
             node = node.parent
 
     # ------------------------------------------------------------------
     # eviction
     # ------------------------------------------------------------------
     def evictable_tokens(self) -> int:
-        """Tokens stored on unlocked leaf-reachable edges (free-able memory)."""
-        total = 0
-        for node in self._iter_nodes():
-            if node.lock_count == 0 and not node.is_root:
-                total += node.num_tokens
-        return total
+        """Tokens stored on unlocked edges (free-able memory)."""
+        return self._evictable_tokens
 
     def evict(self, num_tokens: int, now: float = 0.0) -> int:
         """Evict at least ``num_tokens`` tokens if possible, LRU-leaf first.
 
         Returns the number of tokens actually evicted.  Locked nodes are
-        never evicted.
+        never evicted.  Leaves sharing a ``last_access`` timestamp are
+        evicted in the same (deterministic) order as the historical
+        full-scan implementation, so eviction sequences are reproducible
+        across both.
         """
         evicted = 0
         while evicted < num_tokens:
-            victim = self._lru_unlocked_leaf()
+            victim = self._pop_lru_leaf()
             if victim is None:
                 break
             evicted += self._remove_leaf(victim)
         return evicted
 
-    def _lru_unlocked_leaf(self) -> Optional[RadixNode]:
-        best: Optional[RadixNode] = None
-        for node in self._iter_nodes():
-            if node.is_root or node.children or node.lock_count > 0:
+    @staticmethod
+    def _entry_live(last_access: float, node: RadixNode) -> bool:
+        """Is a heap entry still an accurate view of an unlocked leaf?"""
+        return (
+            last_access == node.last_access
+            and not node.children
+            and node.lock_count == 0
+            and node.parent is not None
+            and node.parent.children.get(node.key[0]) is node
+        )
+
+    def _pop_lru_leaf(self) -> Optional[RadixNode]:
+        heap = self._leaf_heap
+        while heap:
+            last_access, entry_id, node = heappop(heap)
+            if not self._entry_live(last_access, node):
                 continue
-            if best is None or node.last_access < best.last_access:
-                best = node
-        return best
+            # Timestamp ties (whole prefill batches share one sim time) are
+            # resolved exactly like the historical full-tree scan: first
+            # minimum-``last_access`` leaf in its DFS order.  All entries at
+            # this timestamp sit at the top of the heap; drain them, rank
+            # the handful of live candidates by traversal position, and put
+            # the losers back.
+            tied: List[Tuple[float, int, RadixNode]] = []
+            seen = {id(node)}
+            while heap and heap[0][0] == last_access:
+                entry = heappop(heap)
+                competitor = entry[2]
+                if id(competitor) not in seen and self._entry_live(last_access, competitor):
+                    seen.add(id(competitor))
+                    tied.append(entry)
+                # Dead entries and duplicates of live ones are just dropped.
+            if not tied:
+                return node
+            tied.append((last_access, entry_id, node))
+            best = min(tied, key=lambda entry: self._dfs_order_key(entry[2]))
+            for entry in tied:
+                if entry is not best:
+                    heappush(heap, entry)
+            return best[2]
+        return None
+
+    @staticmethod
+    def _dfs_order_key(node: RadixNode) -> Tuple[int, ...]:
+        """Position of ``node`` in the historical scan's traversal order.
+
+        The old full scan walked the tree with an explicit stack, visiting
+        the *most recently added* sibling first at every level.  That order
+        is reproduced here as a root-to-node tuple of reversed sibling
+        ranks: lexicographically smaller keys are visited earlier.  Only
+        computed for the few leaves tied on ``last_access``.
+        """
+        ranks: List[int] = []
+        while node.parent is not None:
+            siblings = list(node.parent.children.values())
+            ranks.append(len(siblings) - 1 - siblings.index(node))
+            node = node.parent
+        ranks.reverse()
+        return tuple(ranks)
 
     def _remove_leaf(self, node: RadixNode) -> int:
         assert node.parent is not None and not node.children
         parent = node.parent
         del parent.children[node.key[0]]
-        self._total_tokens -= node.num_tokens
-        return node.num_tokens
+        self._total_tokens -= len(node.key)
+        if node.lock_count == 0:
+            self._evictable_tokens -= len(node.key)
+        self._node_count -= 1
+        self._note_leaf(parent)
+        return len(node.key)
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
@@ -301,6 +441,9 @@ class RadixCache:
     def check_invariants(self) -> None:
         """Verify structural invariants (used heavily by property tests)."""
         seen_tokens = 0
+        seen_nodes = 0
+        evictable = 0
+        leaves: List[RadixNode] = []
         for node in self._iter_nodes():
             if node.is_root:
                 if node.key != ():
@@ -309,6 +452,11 @@ class RadixCache:
             if not node.key:
                 raise AssertionError("non-root node with empty key")
             seen_tokens += node.num_tokens
+            seen_nodes += 1
+            if node.lock_count == 0:
+                evictable += node.num_tokens
+                if not node.children:
+                    leaves.append(node)
             first = node.key[0]
             if node.parent.children.get(first) is not node:
                 raise AssertionError("child index out of sync with key")
@@ -321,5 +469,25 @@ class RadixCache:
             raise AssertionError(
                 f"token accounting mismatch: counted {seen_tokens}, recorded {self._total_tokens}"
             )
+        if evictable != self._evictable_tokens:
+            raise AssertionError(
+                f"evictable accounting drift: counted {evictable}, recorded {self._evictable_tokens}"
+            )
+        if seen_nodes != self._node_count:
+            raise AssertionError(
+                f"node accounting mismatch: counted {seen_nodes}, recorded {self._node_count}"
+            )
         if self._total_tokens > self.capacity_tokens:
             raise AssertionError("cache exceeded its capacity")
+        visible = {
+            id(node)
+            for last_access, _, node in self._leaf_heap
+            if last_access == node.last_access
+            and not node.children
+            and node.lock_count == 0
+            and node.parent is not None
+            and node.parent.children.get(node.key[0]) is node
+        }
+        for leaf in leaves:
+            if id(leaf) not in visible:
+                raise AssertionError("unlocked leaf missing from the eviction heap")

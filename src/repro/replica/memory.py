@@ -51,20 +51,32 @@ class KVMemoryManager:
         #: the cache (prefix caching disabled, or capacity truncated); they
         #: still occupy KV memory.
         self._uncached_prompt_tokens: Dict[int, int] = {}
+        # Running totals so the per-step/per-probe load queries below are
+        # O(1) instead of re-summing every grant (these sit on the decode
+        # hot path: one query per scheduler step and per admission check).
+        self._output_tokens_total = 0
+        self._uncached_prompt_total = 0
+        self._prompt_tokens_total = 0
 
     # ------------------------------------------------------------------
     @property
     def output_tokens_in_use(self) -> int:
-        return sum(grant.output_tokens for grant in self._grants.values())
+        return self._output_tokens_total
 
     @property
     def used_tokens(self) -> int:
         """Tokens currently occupying KV memory."""
         return (
             self.cache.total_tokens
-            + self.output_tokens_in_use
-            + sum(self._uncached_prompt_tokens.values())
+            + self._output_tokens_total
+            + self._uncached_prompt_total
         )
+
+    @property
+    def context_tokens_total(self) -> int:
+        """Prompt + generated tokens over all running requests (the decode
+        step's attention context), maintained incrementally."""
+        return self._prompt_tokens_total + self._output_tokens_total
 
     @property
     def free_tokens(self) -> int:
@@ -111,6 +123,8 @@ class KVMemoryManager:
             )
             self._grants[request_id] = grant
             self._uncached_prompt_tokens[request_id] = len(prompt_tokens)
+            self._uncached_prompt_total += len(prompt_tokens)
+            self._prompt_tokens_total += len(prompt_tokens)
             return grant
 
         match = self.cache.match_prefix(prompt_tokens, now=now)
@@ -147,10 +161,12 @@ class KVMemoryManager:
             locked_node=full_match.last_node,
         )
         self._grants[request_id] = grant
+        self._prompt_tokens_total += cached + new_prompt
         if uninserted > 0:
             # Capacity-truncated tail of the prompt still occupies KV memory
             # for the lifetime of the request, it is just not reusable.
             self._uncached_prompt_tokens[request_id] = uninserted
+            self._uncached_prompt_total += uninserted
         return grant
 
     # ------------------------------------------------------------------
@@ -160,6 +176,12 @@ class KVMemoryManager:
         if grant is None:
             raise KeyError(f"request {request_id} is not running")
         grant.output_tokens += count
+        self._output_tokens_total += count
+
+    def note_generated(self, count: int) -> None:
+        """Credit ``count`` output tokens whose grants the caller updates
+        itself (the batcher's decode loop holds direct grant references)."""
+        self._output_tokens_total += count
 
     def context_tokens(self, request_id: int) -> int:
         """Prompt + generated tokens currently attended to by a request."""
@@ -179,7 +201,9 @@ class KVMemoryManager:
         grant = self._grants.pop(request_id, None)
         if grant is None:
             raise KeyError(f"request {request_id} is not running")
-        self._uncached_prompt_tokens.pop(request_id, None)
+        self._output_tokens_total -= grant.output_tokens
+        self._prompt_tokens_total -= grant.cached_tokens + grant.new_prompt_tokens
+        self._uncached_prompt_total -= self._uncached_prompt_tokens.pop(request_id, 0)
         if grant.locked_node is not None:
             self.cache.unlock(grant.locked_node)
         if cache_output and full_sequence is not None and self.enable_prefix_cache:
@@ -197,3 +221,11 @@ class KVMemoryManager:
             raise AssertionError("KV memory over capacity")
         if self.output_tokens_in_use < 0:
             raise AssertionError("negative output token accounting")
+        if self._output_tokens_total != sum(g.output_tokens for g in self._grants.values()):
+            raise AssertionError("output token running total drifted from grants")
+        if self._uncached_prompt_total != sum(self._uncached_prompt_tokens.values()):
+            raise AssertionError("uncached prompt running total drifted")
+        if self._prompt_tokens_total != sum(
+            g.cached_tokens + g.new_prompt_tokens for g in self._grants.values()
+        ):
+            raise AssertionError("prompt token running total drifted from grants")

@@ -47,7 +47,13 @@ class Event:
     * *triggered* -- a value (or exception) has been set and the event is
       scheduled in the environment's queue,
     * *processed* -- the environment has popped it and run its callbacks.
+
+    The whole event hierarchy is ``__slots__``-based: tens of thousands of
+    events are created per simulated second, and slot storage measurably
+    cuts both per-event allocation and attribute-access cost.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -128,6 +134,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
@@ -143,6 +151,8 @@ class Timeout(Event):
 
 class ConditionEvent(Event):
     """Base class for events composed of other events (all-of / any-of)."""
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -189,12 +199,16 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Triggered when *all* component events have triggered successfully."""
 
+    __slots__ = ()
+
     def _satisfied(self, count: int, total: int) -> bool:
         return count == total
 
 
 class AnyOf(ConditionEvent):
     """Triggered when *any* component event has triggered successfully."""
+
+    __slots__ = ()
 
     def _satisfied(self, count: int, total: int) -> bool:
         return count >= 1

@@ -41,6 +41,8 @@ class InvalidYield(RuntimeError):
 class _Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
@@ -51,6 +53,8 @@ class _Initialize(Event):
 
 class Process(Event):
     """An event that represents the execution of a generator function."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):

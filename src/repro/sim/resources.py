@@ -23,6 +23,8 @@ __all__ = ["Store", "PriorityStore", "Resource"]
 class StorePut(Event):
     """Event returned by :meth:`Store.put`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -32,6 +34,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event returned by :meth:`Store.get`; its value is the item."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
@@ -137,6 +141,8 @@ class PriorityStore(Store):
 
 class ResourceRequest(Event):
     """Event returned by :meth:`Resource.request`."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)

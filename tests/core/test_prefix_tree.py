@@ -105,6 +105,40 @@ def test_invalid_capacity_rejected():
         PrefixTree(max_tokens=0)
 
 
+def test_tie_break_prefers_most_recent_insert_not_repr_order():
+    """Regression for the old ``min(reachable, key=repr)`` tie-break.
+
+    Two targets recorded for the *same* prompt tie on match length; the
+    documented rule picks the one recorded by the most recent insert.  The
+    old rule compared ``repr`` strings, which ordered "r10" before "r9"
+    lexicographically and ignored recency entirely.
+    """
+    tree = PrefixTree()
+    tree.insert(seq(1, 2, 3, 4), "r10")
+    tree.insert(seq(1, 2, 3, 4), "r9")  # most recent insert for this path
+    match = tree.best_target(seq(1, 2, 3, 4), available={"r9", "r10"})
+    assert match.target == "r9"
+    # Re-inserting for r10 flips the preference: recency decides, not repr.
+    tree.insert(seq(1, 2, 3, 4), "r10")
+    assert tree.best_target(seq(1, 2, 3, 4), available={"r9", "r10"}).target == "r10"
+    # The rule is applied per node: an unavailable newer target never masks
+    # an older available one.
+    assert tree.best_target(seq(1, 2, 3, 4), available={"r9"}).target == "r9"
+
+
+def test_node_count_tracks_structure():
+    tree = PrefixTree()
+    assert len(tree) == 0
+    tree.insert(seq(1, 2, 3, 4), "a")
+    assert tree.node_count == 1
+    tree.insert(seq(1, 2, 9), "b")  # splits (1,2,3,4) and adds a sibling
+    assert tree.node_count == 3
+    tree.remove_target("b")
+    tree.remove_target("a")
+    assert tree.node_count == len(tree) == 0
+    tree.check_invariants()
+
+
 def test_shared_prefix_tracks_both_targets():
     tree = PrefixTree()
     tree.insert(seq(1, 2, 3, 4), "a")

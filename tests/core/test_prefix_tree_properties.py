@@ -64,6 +64,35 @@ def test_capacity_bound_is_respected(insertions, capacity):
         tree.check_invariants()
 
 
+#: One random churn step: insert a sequence, shrink capacity (forces heap
+#: eviction), or decommission a target.
+churn_op = st.one_of(
+    st.tuples(st.just("insert"), sequence, target),
+    st.tuples(st.just("evict"), st.integers(min_value=4, max_value=48), st.none()),
+    st.tuples(st.just("remove"), st.none(), target),
+)
+
+
+@given(st.lists(churn_op, min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_node_count_and_tokens_survive_random_churn(ops):
+    tree = PrefixTree()
+    for op, payload, tgt in ops:
+        if op == "insert":
+            tree.insert(payload, tgt)
+        elif op == "evict":
+            tree.max_tokens = payload
+            tree.insert((0,), "a")  # trigger capacity enforcement
+        else:
+            tree.remove_target(tgt)
+        # check_invariants recounts tokens and nodes against the running
+        # totals and verifies every leaf is visible to the eviction heap.
+        tree.check_invariants()
+        recounted = sum(1 for node in tree._iter_nodes() if node.parent is not None)
+        assert tree.node_count == len(tree) == recounted
+        assert tree.total_tokens <= tree.max_tokens
+
+
 @given(st.lists(insertion, min_size=1, max_size=40), target)
 @settings(max_examples=40, deadline=None)
 def test_removed_target_is_never_returned(insertions, removed):

@@ -123,3 +123,41 @@ def test_parallel_sweep_resolves_plugin_systems_in_workers():
     )
     for workload in sweep.workloads():
         assert sweep.get(workload, "skywalker-hybrid").num_completed > 0
+
+
+# ----------------------------------------------------------------------
+# per-cell wall-clock recording
+# ----------------------------------------------------------------------
+def test_cell_wall_clock_recorded_in_serial_and_parallel_modes():
+    workload = build_arena_workload(scale=0.02)
+    systems = [REGISTRY.spec("skywalker"), REGISTRY.spec("least-load")]
+    for workers in (1, 2):
+        sweep = run_sweep(
+            systems, [workload], cluster=tiny_cluster(), duration_s=5.0, workers=workers
+        )
+        for system in sweep.systems(workload.name):
+            seconds = sweep.wall_clock(workload.name, system)
+            assert seconds is not None and seconds > 0.0, (workers, system)
+            assert sweep.cell_seconds[workload.name][system] == seconds
+        # The wall-clock column is telemetry, not part of the result
+        # identity that the serial-vs-parallel equivalence compares.
+        metrics = sweep.get(workload.name, "skywalker")
+        assert "wall_clock_s" not in metrics.to_dict()
+        assert "  wall=" in sweep.format_report()
+
+
+def test_wall_clock_survives_pickling_from_workers():
+    import pickle
+
+    workload = build_arena_workload(scale=0.02)
+    task = SweepTask(
+        system=REGISTRY.spec("skywalker"),
+        workload=workload,
+        cluster=tiny_cluster(),
+        duration_s=5.0,
+    )
+    metrics = run_sweep_task(task)
+    assert metrics.wall_clock_s is not None and metrics.wall_clock_s > 0.0
+    revived = pickle.loads(pickle.dumps(metrics))
+    assert revived.wall_clock_s == metrics.wall_clock_s
+    assert revived.to_dict() == metrics.to_dict()

@@ -141,3 +141,85 @@ def test_path_tokens_reconstructs_sequence():
     cache.insert(seq(7, 8, 9, 10))
     node = cache.match_prefix(seq(7, 8, 9, 10), record=False).last_node
     assert node.path_tokens() == seq(7, 8, 9, 10)
+
+
+def _recount_tokens(cache):
+    return sum(
+        node.num_tokens for node in cache._iter_nodes() if node.parent is not None
+    )
+
+
+def _recount_evictable(cache):
+    return sum(
+        node.num_tokens
+        for node in cache._iter_nodes()
+        if node.parent is not None and node.lock_count == 0
+    )
+
+
+def test_evict_accounting_survives_interleaved_operations():
+    """Interleave insert/lock/evict/clear and recount after every step.
+
+    Regression guard for accounting drift in ``total_tokens`` and the O(1)
+    ``evictable_tokens`` counter (mirrors ``PrefixTree.check_invariants``):
+    each step's running totals must match a full recount of the tree.
+    """
+    cache = RadixCache(capacity_tokens=64)
+    sequences = [
+        seq(1, 2, 3, 4, 5, 6),
+        seq(1, 2, 3, 9, 9),          # splits the first path
+        seq(7, 8),
+        seq(1, 2, 3, 4, 5, 6, 7, 8), # extends the first path
+        seq(20, 21, 22, 23),
+    ]
+    locked = []
+    now = 0.0
+    for step, tokens in enumerate(sequences):
+        now += 1.0
+        match = cache.match_prefix(tokens, now=now)
+        if match.last_node is not None and step % 2 == 0:
+            cache.lock(match.last_node)
+            locked.append(match.last_node)
+        cache.insert(tokens, now=now)
+        if step % 2 == 1:
+            cache.evict(3, now=now)
+        cache.check_invariants()
+        assert cache.total_tokens == _recount_tokens(cache)
+        assert cache.evictable_tokens() == _recount_evictable(cache)
+
+    # Locked paths must pin their tokens through an eviction storm...
+    cache.evict(cache.total_tokens, now=now + 1)
+    cache.check_invariants()
+    assert cache.total_tokens == _recount_tokens(cache)
+    for node in locked:
+        assert cache.match_prefix(node.path_tokens(), record=False).matched_tokens > 0
+
+    # ...and unlocking + clear drains the tree completely, with totals intact.
+    for node in locked:
+        cache.unlock(node)
+    cache.check_invariants()
+    assert cache.evictable_tokens() == _recount_evictable(cache)
+    cache.clear()
+    cache.check_invariants()
+    assert cache.total_tokens == _recount_tokens(cache) == 0
+    assert cache.evictable_tokens() == 0
+
+
+def test_eviction_order_is_deterministic_under_timestamp_ties():
+    """Leaves created at the same sim time evict in the historical DFS-scan
+    order, so heap-based eviction reproduces the full-scan implementation."""
+    runs = []
+    for _ in range(3):
+        cache = RadixCache()
+        for tokens in (seq(1, 2), seq(3, 4), seq(5, 6), seq(7, 8)):
+            cache.insert(tokens, now=5.0)  # all tie on last_access
+        order = []
+        while True:
+            victim = cache._pop_lru_leaf()
+            if victim is None:
+                break
+            order.append(victim.key)
+            cache._remove_leaf(victim)
+        runs.append(order)
+    assert runs[0] == runs[1] == runs[2]
+    assert len(runs[0]) == 4
