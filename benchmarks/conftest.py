@@ -5,7 +5,7 @@ evaluation.  Results are printed and also written to ``benchmarks/results/``
 so a full ``pytest benchmarks/ --benchmark-only`` run leaves behind the
 complete set of reproduced rows/series.
 
-Three environment variables control fidelity:
+Four environment variables control fidelity:
 
 * ``REPRO_BENCH_SCALE``     -- client/replica scale factor (default 0.5; the
   paper's full scale is 1.0).
@@ -14,6 +14,11 @@ Three environment variables control fidelity:
   one per core, capped at 4).  Sweep results are bit-identical for any
   worker count, so this only trades wall-clock; full-fidelity Fig. 8
   reproductions (scale 1.0) are where it pays off.
+* ``REPRO_BENCH_SEEDS``     -- number of seeds per sweep cell (default 1).
+  With N > 1 every figure repeats its sweep under seeds ``base .. base+N-1``
+  (fresh workload per seed) and the recorded artifacts gain a mean/95%-CI
+  aggregate section.  The default of 1 keeps the committed artifacts
+  bit-identical to the historical single-seed runs.
 """
 
 from __future__ import annotations
@@ -39,6 +44,14 @@ def bench_workers() -> int:
     if value <= 0:
         return max(1, min(4, os.cpu_count() or 1))
     return value
+
+
+def bench_seeds(base: int) -> list:
+    """The seed list for one figure's sweep: ``base`` is the figure's
+    historical seed, so ``REPRO_BENCH_SEEDS=1`` (the default) reproduces
+    the committed single-seed artifacts bit-identically."""
+    count = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
+    return [base + i for i in range(max(1, count))]
 
 
 @pytest.fixture(scope="session")

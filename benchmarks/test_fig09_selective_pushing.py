@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.experiments import run_pushing_benchmark
 
-from conftest import bench_duration, bench_scale, bench_workers
+from conftest import bench_duration, bench_scale, bench_seeds, bench_workers
 
 
 def test_fig09_selective_pushing(benchmark, record_result):
@@ -23,7 +23,7 @@ def test_fig09_selective_pushing(benchmark, record_result):
             clients=clients,
             duration_s=bench_duration(),
             sp_o_threshold=24,
-            seed=7,
+            seeds=bench_seeds(7),
             workers=min(bench_workers(), 3),
         ),
         rounds=1,
@@ -45,6 +45,12 @@ def test_fig09_selective_pushing(benchmark, record_result):
     lines.append(f"  SP-P throughput vs BP  : {result.throughput_gain('BP', 'SP-P'):.2f}x   (paper: 1.27x)")
     lines.append(f"  SP-P throughput vs SP-O: {result.throughput_gain('SP-O', 'SP-P'):.2f}x   (paper: 1.4x)")
     lines.append(f"  SP-P p90 TTFT reduction vs BP: {result.p90_ttft_reduction('BP', 'SP-P'):.2f}x   (paper: 18.47x)")
+    seeds = bench_seeds(7)
+    if len(seeds) > 1:
+        lines.append("")
+        lines.append(f"  aggregate over seeds {seeds} (mean±95% CI):")
+        for policy in result.runs:
+            lines.append("  " + result.aggregate(policy).format_row())
     record_result("fig09_selective_pushing", "\n".join(lines))
 
     bp, spo, spp = result.runs["BP"], result.runs["SP-O"], result.runs["SP-P"]

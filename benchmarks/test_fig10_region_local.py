@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.experiments import run_diurnal_sweep
 
-from conftest import bench_duration, bench_workers
+from conftest import bench_duration, bench_seeds, bench_workers
 
 REPLICA_COUNTS = (3, 6, 9, 12)
 SLO_CANDIDATES_S = (3.0, 3.5, 4.0, 4.5, 5.0, 6.0)
@@ -31,7 +31,7 @@ def test_fig10_skywalker_vs_region_local(benchmark, record_result):
             replica_counts=REPLICA_COUNTS,
             scale=1.0,
             duration_s=max(bench_duration(), 120.0),
-            seed=5,
+            seeds=bench_seeds(5),
             workers=bench_workers(),
         ),
         rounds=1,
@@ -70,6 +70,19 @@ def test_fig10_skywalker_vs_region_local(benchmark, record_result):
     lines.append(f"  best SLO-equivalent cost reduction: "
                  f"{best_reduction:.0%}" if best_reduction is not None else "  (no SLO met by both)")
     lines.append("  paper: SkyWalker@9 matches region-local@12 => 25% cost reduction")
+    seeds = bench_seeds(5)
+    if len(seeds) > 1:
+        lines.append("")
+        lines.append(f"  aggregate over seeds {seeds} (mean±95% CI):")
+        for count in REPLICA_COUNTS:
+            for system in ("skywalker", "region-local"):
+                agg = result.aggregate(system, count)
+                tput = agg.stat("throughput_tokens_per_s")
+                lines.append(
+                    f"  {system:<14} replicas={count:<3} "
+                    f"tput={tput.mean:8.1f}±{tput.ci95 or 0.0:6.1f} tok/s  "
+                    f"seeds={agg.num_seeds}"
+                )
     record_result("fig10_region_local", "\n".join(lines))
 
     # Throughput parity (or better) once the fleet is past the fully

@@ -19,10 +19,12 @@ Quick start -- one run with a registry-typed system config::
 
 Sweep several systems over one generated workload (the workload is built
 once and replayed with fresh request state per variant).  ``workers`` runs
-each (workload, system) cell in its own worker process -- results are
-bit-identical to the serial loop for the same seed, so parallelism only
-buys wall-clock (this is what makes full-fidelity multi-seed Fig. 8
-reproductions feasible)::
+each (workload, system, seed) cell in its own worker process -- results are
+bit-identical to the serial loop for the same seeds, so parallelism only
+buys wall-clock.  ``seeds=[...]`` repeats every cell across seeds and adds
+a statistical layer on top: per-seed runs in ``SweepResult.seed_runs`` and
+mean / stdev / 95% CI (Student-t, stdlib-only) via
+``SweepResult.aggregate`` / ``SweepResult.report``::
 
     from repro.experiments import REGISTRY, run_sweep
 
@@ -30,13 +32,26 @@ reproductions feasible)::
         [REGISTRY.spec("skywalker"), REGISTRY.spec("skywalker-hybrid"),
          REGISTRY.spec("least-load")],
         [workload],
+        seeds=[0, 1, 2],
         workers=4,
     )
-    print(sweep.format_report())
+    print(sweep.format_report())          # per-seed rows + aggregate table
+    print(sweep.aggregate(workload.name, "skywalker").stat("ttft_p50"))
+
+``seeds=[s]`` is bit-identical to the legacy single-seed ``seed=s`` path,
+and ``run_macro_benchmark`` / ``run_pushing_benchmark`` /
+``run_diurnal_sweep`` accept the same ``seeds=[...]`` (rebuilding their
+workloads per seed so each trial sees fresh traffic).  Per-cell host
+wall-clock is recorded in ``SweepResult.cell_seconds`` (and per seed in
+``seed_cell_seconds``); it is telemetry only and deliberately **excluded
+from ``RunMetrics.to_dict()``**, which is the payload every bit-identity
+check (serial vs parallel, golden traces) compares.
 
 Lower-level control (arbitrary per-cell functions, e.g. the Fig. 10 sweep's
 per-region percentiles) is available through
-``repro.experiments.SweepExecutor``.
+``repro.experiments.SweepExecutor``.  ``README.md`` and ``docs/`` (module
+map in ``docs/ARCHITECTURE.md``, plugin walkthrough in
+``docs/EXTENDING.md``) cover the whole surface in prose.
 
 Add a whole new system without touching the runner -- register a typed
 config and a builder with the public registry::
@@ -97,7 +112,9 @@ deprecation-only shim (constructing one warns, no first-party example or
 benchmark uses it) -- it still resolves to the registered typed config via
 ``SystemConfig.resolve()``, but new code should use the typed configs
 (``SkyWalkerConfig``, ``GatewayConfig``, ``CentralizedConfig``, ...) or
-``REGISTRY.spec(kind, **overrides)``.
+``REGISTRY.spec(kind, **overrides)``.  ``REGISTRY.spec`` is also the only
+spelling that supports plugin-registered kinds with their own extra knobs
+(e.g. ``REGISTRY.spec("skywalker-hybrid", hybrid_load_weight=0.2)``).
 
 Sub-packages
 ------------
@@ -109,9 +126,11 @@ Sub-packages
 ``repro.core``         SkyWalker itself (two-layer router, prefix trie, CH,
                        selective pushing, controller)
 ``repro.balancers``    the baseline load balancers of §5.1
-``repro.metrics``      latency summaries and run aggregation
+``repro.metrics``      latency summaries, run aggregation and multi-seed
+                       statistics (mean / stdev / 95% CI)
 ``repro.analysis``     cost model, traffic aggregation, prefix similarity
 ``repro.experiments``  scenario builders and runners for every figure
+``repro.perf``         hot-path microbenchmark suite (``python -m repro.perf``)
 """
 
 __version__ = "1.0.0"
@@ -127,4 +146,5 @@ __all__ = [
     "metrics",
     "analysis",
     "experiments",
+    "perf",
 ]

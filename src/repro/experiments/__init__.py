@@ -46,7 +46,13 @@ from .registry import (
     registered_system_kinds,
 )
 from .runner import ExperimentResult, SweepResult, build_system, run_experiment, run_sweep
-from .sweep import SweepExecutor, SweepTask, run_sweep_task
+from .sweep import (
+    SweepExecutor,
+    SweepTask,
+    check_unique_system_names,
+    normalise_seeds,
+    run_sweep_task,
+)
 from .systems import CentralizedConfig, GatewayConfig, SkyWalkerConfig
 from .workloads import (
     MACRO_WORKLOAD_BUILDERS,
@@ -86,6 +92,8 @@ __all__ = [
     "SweepExecutor",
     "SweepTask",
     "run_sweep_task",
+    "normalise_seeds",
+    "check_unique_system_names",
     "run_experiment",
     "run_sweep",
     "build_system",

@@ -15,12 +15,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.cost import CostModel
-from ..metrics import LatencySummary, RunMetrics
+from ..metrics import AggregateMetrics, LatencySummary, RunMetrics, aggregate_cell
 from ..workloads import ARENA_LIKE, ConversationConfig, ConversationWorkload
 from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
 from .registry import REGISTRY
 from .runner import run_experiment
-from .sweep import SweepExecutor
+from .sweep import SweepExecutor, normalise_seeds
 
 __all__ = ["DiurnalSweepResult", "build_skewed_workload", "run_diurnal_sweep"]
 
@@ -29,13 +29,38 @@ _REGIONS = ("us", "eu", "asia")
 
 @dataclass
 class DiurnalSweepResult:
-    """Throughput per system per total replica count."""
+    """Throughput per system per total replica count.
+
+    :attr:`skywalker` / :attr:`region_local` hold the base-seed run per
+    replica count (bit-identical to the historical single-seed output);
+    multi-seed sweeps also fill the ``*_seed_runs`` maps, which feed
+    :meth:`aggregate`.
+    """
 
     skywalker: Dict[int, RunMetrics] = field(default_factory=dict)
     region_local: Dict[int, RunMetrics] = field(default_factory=dict)
+    #: Per-seed runs: ``skywalker_seed_runs[total_replicas][seed]``.
+    skywalker_seed_runs: Dict[int, Dict[int, RunMetrics]] = field(default_factory=dict)
+    region_local_seed_runs: Dict[int, Dict[int, RunMetrics]] = field(default_factory=dict)
 
     def replica_counts(self) -> List[int]:
         return sorted(set(self.skywalker) | set(self.region_local))
+
+    def aggregate(self, system: str, replicas: int) -> AggregateMetrics:
+        """Mean/stdev/95% CI for one (system, replica count) across seeds.
+
+        ``system`` must be ``"skywalker"`` or ``"region-local"`` (the two
+        arms of the Fig. 10 comparison).
+        """
+        if system == "skywalker":
+            seed_runs, base = self.skywalker_seed_runs, self.skywalker
+        elif system == "region-local":
+            seed_runs, base = self.region_local_seed_runs, self.region_local
+        else:
+            raise ValueError(
+                f"unknown system {system!r}; expected 'skywalker' or 'region-local'"
+            )
+        return aggregate_cell(seed_runs.get(replicas), base[replicas])
 
     def throughput_series(self) -> Dict[str, Dict[int, float]]:
         return {
@@ -171,6 +196,7 @@ def _run_diurnal_cell(cell: _DiurnalCell) -> RunMetrics:
     )
     outcome = run_experiment(config, cell.workload.fresh_copy())
     metrics = outcome.metrics
+    metrics.seed = cell.seed
     # Per-region tail latency: the overloaded (US) region is the one
     # a region-local deployment must over-provision for.
     for region in _REGIONS:
@@ -188,31 +214,41 @@ def run_diurnal_sweep(
     scale: float = 0.2,
     duration_s: float = 120.0,
     seed: int = 5,
+    seeds: Optional[Sequence[int]] = None,
     workers: int = 1,
 ) -> DiurnalSweepResult:
     """Sweep total replica counts for SkyWalker and the region-local baseline.
 
-    ``workers`` > 1 distributes the (kind, replica count) cells over that
-    many worker processes; results are identical to the serial sweep for
-    the same seed.
+    ``seeds=[...]`` repeats the whole sweep with a freshly built skewed
+    workload per seed (``seeds=[s]`` is bit-identical to ``seed=s``); the
+    per-seed runs feed :meth:`DiurnalSweepResult.aggregate`.  ``workers`` >
+    1 distributes the (kind, replica count, seed) cells over that many
+    worker processes; results are identical to the serial sweep for the
+    same seeds.
     """
     for total in replica_counts:
         if total % len(_REGIONS) != 0:
             raise ValueError("replica counts must be divisible by the number of regions")
-    workload = build_skewed_workload(scale=scale, seed=seed)
+    seed_list = normalise_seeds(seed, seeds)
     cells = [
         _DiurnalCell(
             kind=kind,
             total_replicas=total,
             workload=workload,
             duration_s=duration_s,
-            seed=seed,
+            seed=cell_seed,
         )
+        for cell_seed in seed_list
+        for workload in (build_skewed_workload(scale=scale, seed=cell_seed),)
         for total in replica_counts
         for kind in ("skywalker", "region-local")
     ]
     result = DiurnalSweepResult()
     for cell, metrics in zip(cells, SweepExecutor(workers=workers).map(_run_diurnal_cell, cells)):
-        bucket = result.skywalker if cell.kind == "skywalker" else result.region_local
-        bucket[cell.total_replicas] = metrics
+        if cell.kind == "skywalker":
+            bucket, seed_bucket = result.skywalker, result.skywalker_seed_runs
+        else:
+            bucket, seed_bucket = result.region_local, result.region_local_seed_runs
+        bucket.setdefault(cell.total_replicas, metrics)
+        seed_bucket.setdefault(cell.total_replicas, {})[cell.seed] = metrics
     return result

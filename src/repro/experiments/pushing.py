@@ -8,18 +8,21 @@ policy is swapped between BP, SP-O and SP-P.
 The variants are one sweep (same workload, one system spec per registered
 pushing-policy name), so they run through the
 :class:`~repro.experiments.sweep.SweepExecutor` and parallelise across
-processes like every other sweep.
+processes like every other sweep.  ``seeds=[...]`` repeats the ablation
+with a freshly generated ToT workload per seed; per-seed runs land in
+:attr:`PushingResult.seed_runs` and :meth:`PushingResult.aggregate` gives
+each policy's mean/95%-CI statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..metrics import RunMetrics
+from ..metrics import AggregateMetrics, RunMetrics, SweepReport, aggregate_cell
 from ..workloads import TreeOfThoughtsConfig, TreeOfThoughtsWorkload
 from .config import ClusterConfig, WorkloadSpec
-from .sweep import SweepExecutor
+from .sweep import SweepExecutor, SweepTask, check_unique_system_names, normalise_seeds
 from .systems import SkyWalkerConfig
 
 __all__ = ["PushingResult", "run_pushing_benchmark", "build_single_region_tot_workload"]
@@ -29,12 +32,31 @@ PUSHING_VARIANTS = ("BP", "SP-O", "SP-P")
 
 @dataclass
 class PushingResult:
-    """Metrics per pushing policy."""
+    """Metrics per pushing policy.
+
+    :attr:`runs` holds each policy's base-seed run (bit-identical to the
+    historical single-seed output); :attr:`seed_runs` keeps every per-seed
+    run for :meth:`aggregate`.
+    """
 
     runs: Dict[str, RunMetrics] = field(default_factory=dict)
+    #: Per-seed runs: ``seed_runs[policy][seed]``.
+    seed_runs: Dict[str, Dict[int, RunMetrics]] = field(default_factory=dict)
 
-    def get(self, policy: str) -> RunMetrics:
-        return self.runs[policy]
+    def get(self, policy: str, seed: Optional[int] = None) -> RunMetrics:
+        if seed is None:
+            return self.runs[policy]
+        return self.seed_runs[policy][seed]
+
+    def aggregate(self, policy: str) -> AggregateMetrics:
+        """Mean/stdev/95% CI of one policy across its seeds."""
+        return aggregate_cell(self.seed_runs.get(policy), self.runs[policy])
+
+    def report(self) -> SweepReport:
+        report = SweepReport()
+        for policy in self.runs:
+            report.add(self.aggregate(policy))
+        return report
 
     def throughput_gain(self, over: str = "BP", policy: str = "SP-P") -> float:
         base = self.runs[over].throughput_tokens_per_s
@@ -55,7 +77,11 @@ class PushingResult:
         return self.runs[over].ttft.p90 / target
 
     def format_report(self) -> str:
-        return "\n".join(metrics.format_row() for metrics in self.runs.values())
+        lines = [metrics.format_row() for metrics in self.runs.values()]
+        if any(len(per_seed) > 1 for per_seed in self.seed_runs.values()):
+            lines.append("-- aggregate (mean±95% CI) --")
+            lines.append(self.report().format_table())
+        return "\n".join(lines)
 
 
 def build_single_region_tot_workload(
@@ -83,17 +109,17 @@ def run_pushing_benchmark(
     sp_o_threshold: int = 24,
     region: str = "us",
     seed: int = 7,
+    seeds: Optional[Sequence[int]] = None,
     workers: int = 1,
 ) -> PushingResult:
     """Run the BP / SP-O / SP-P comparison in one region.
 
     ``policies`` may name any registered pushing policy, not just the
-    paper's three.  ``workers`` > 1 runs the variants in parallel worker
-    processes (identical metrics, less wall-clock).
+    paper's three.  ``seeds=[...]`` repeats the ablation across seeds (a
+    fresh ToT workload per seed); ``seeds=[s]`` is bit-identical to
+    ``seed=s``.  ``workers`` > 1 runs the (policy, seed) cells in parallel
+    worker processes (identical metrics, less wall-clock).
     """
-    workload = build_single_region_tot_workload(
-        region=region, clients=clients, seed=seed
-    )
     systems = [
         SkyWalkerConfig(
             kind="skywalker",
@@ -105,10 +131,29 @@ def run_pushing_benchmark(
         for policy in policies
     ]
     cluster = ClusterConfig(replicas_per_region={region: replicas})
-    sweep = SweepExecutor(workers=workers).run(
-        systems, [workload], cluster=cluster, duration_s=duration_s, seed=seed
-    )
+    check_unique_system_names(systems)
+    seed_list = normalise_seeds(seed, seeds)
+    tasks: List[SweepTask] = []
+    workload_name = None
+    for cell_seed in seed_list:
+        workload = build_single_region_tot_workload(
+            region=region, clients=clients, seed=cell_seed
+        )
+        workload_name = workload.name
+        for system in systems:
+            tasks.append(
+                SweepTask(
+                    system=system,
+                    workload=workload,
+                    cluster=cluster,
+                    duration_s=duration_s,
+                    seed=cell_seed,
+                )
+            )
+    sweep = SweepExecutor(workers=workers).run_cells(tasks)
     result = PushingResult()
     for policy in policies:
-        result.runs[policy] = sweep.get(workload.name, policy)
+        # run_sweep_task stamps every run's seed, so runs_for is never empty.
+        result.runs[policy] = sweep.get(workload_name, policy)
+        result.seed_runs[policy] = sweep.runs_for(workload_name, policy)
     return result

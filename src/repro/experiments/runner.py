@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
 from ..core.interface import Balancer
-from ..metrics import RunMetrics, collect_run_metrics
+from ..metrics import (
+    AggregateMetrics,
+    RunMetrics,
+    SweepReport,
+    aggregate_cell,
+    collect_run_metrics,
+)
 from ..network import Network, default_topology
 from ..sim import Environment
 from ..workloads.program import Program
@@ -170,20 +176,54 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
 
 @dataclass
 class SweepResult:
-    """Metrics for every (workload, system) pair of a sweep."""
+    """Metrics for every (workload, system) pair of a sweep.
+
+    Single-seed sweeps look exactly as they always have: one
+    :class:`RunMetrics` per cell in :attr:`runs`.  Multi-seed sweeps
+    (``seeds=[...]``) additionally keep every per-seed run in
+    :attr:`seed_runs`; :attr:`runs` then holds the *base seed* (the first
+    entry of the seeds list) so every legacy accessor keeps returning a
+    deterministic, bit-identical-to-single-seed view.  The statistical
+    layer on top -- mean, stdev, 95% CI per metric -- comes from
+    :meth:`aggregate` / :meth:`report`.
+    """
 
     runs: Dict[str, Dict[str, RunMetrics]] = field(default_factory=dict)
-    #: Host wall-clock seconds per cell (``cell_seconds[workload][system]``),
-    #: recorded by the sweep executor so benchmark logs show where the run's
-    #: time went.  Not part of any bit-identity comparison.
+    #: Host wall-clock seconds per cell (``cell_seconds[workload][system]``,
+    #: base seed), recorded by the sweep executor so benchmark logs show
+    #: where the run's time went.  Not part of any bit-identity comparison
+    #: (and therefore excluded from ``RunMetrics.to_dict()``).
     cell_seconds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-seed runs: ``seed_runs[workload][system][seed]``.  Populated by
+    #: the sweep executor (which stamps ``RunMetrics.seed``); direct
+    #: :meth:`add` calls with un-stamped metrics only feed :attr:`runs`.
+    seed_runs: Dict[str, Dict[str, Dict[int, RunMetrics]]] = field(default_factory=dict)
+    #: Per-seed wall-clock: ``seed_cell_seconds[workload][system][seed]``.
+    seed_cell_seconds: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
 
     def add(self, metrics: RunMetrics) -> None:
-        self.runs.setdefault(metrics.workload, {})[metrics.system] = metrics
+        if metrics.seed is None:
+            # Legacy path (metrics not produced by the sweep executor):
+            # exactly the historical overwrite semantics, no seed tracking.
+            self.runs.setdefault(metrics.workload, {})[metrics.system] = metrics
+            if metrics.wall_clock_s is not None:
+                self.cell_seconds.setdefault(metrics.workload, {})[
+                    metrics.system
+                ] = metrics.wall_clock_s
+            return
+        # Seed-stamped path: the first run added for a cell is its base
+        # seed (the executor orders each cell's tasks seeds-first).
+        self.seed_runs.setdefault(metrics.workload, {}).setdefault(metrics.system, {})[
+            metrics.seed
+        ] = metrics
+        self.runs.setdefault(metrics.workload, {}).setdefault(metrics.system, metrics)
         if metrics.wall_clock_s is not None:
-            self.cell_seconds.setdefault(metrics.workload, {})[
-                metrics.system
-            ] = metrics.wall_clock_s
+            self.seed_cell_seconds.setdefault(metrics.workload, {}).setdefault(
+                metrics.system, {}
+            )[metrics.seed] = metrics.wall_clock_s
+            self.cell_seconds.setdefault(metrics.workload, {}).setdefault(
+                metrics.system, metrics.wall_clock_s
+            )
 
     def workloads(self) -> List[str]:
         return list(self.runs)
@@ -191,15 +231,64 @@ class SweepResult:
     def systems(self, workload: str) -> List[str]:
         return list(self.runs[workload])
 
-    def get(self, workload: str, system: str) -> RunMetrics:
-        return self.runs[workload][system]
+    def get(self, workload: str, system: str, seed: Optional[int] = None) -> RunMetrics:
+        """One cell's metrics: the base-seed run, or a specific seed's."""
+        if seed is None:
+            return self.runs[workload][system]
+        return self.seed_runs[workload][system][seed]
 
-    def wall_clock(self, workload: str, system: str) -> Optional[float]:
-        """Host seconds one cell took, or ``None`` if it predates recording."""
-        return self.cell_seconds.get(workload, {}).get(system)
+    def runs_for(self, workload: str, system: str) -> Dict[int, RunMetrics]:
+        """All per-seed runs of one cell, keyed by seed (insertion order ==
+        the order of the sweep's seeds list)."""
+        return dict(self.seed_runs.get(workload, {}).get(system, {}))
+
+    def seeds(self) -> List[int]:
+        """Every seed seen across the sweep, in first-seen order."""
+        ordered: Dict[int, None] = {}
+        for row in self.seed_runs.values():
+            for per_seed in row.values():
+                for seed in per_seed:
+                    ordered.setdefault(seed, None)
+        return list(ordered)
+
+    def wall_clock(
+        self, workload: str, system: str, seed: Optional[int] = None
+    ) -> Optional[float]:
+        """Host seconds one cell took (base seed, or a specific seed's run),
+        or ``None`` if it predates recording."""
+        if seed is None:
+            return self.cell_seconds.get(workload, {}).get(system)
+        return self.seed_cell_seconds.get(workload, {}).get(system, {}).get(seed)
+
+    # -- statistics ----------------------------------------------------
+    def aggregate(self, workload: str, system: str) -> AggregateMetrics:
+        """Mean/stdev/95%-CI aggregation of one cell across its seeds.
+
+        Falls back to a degenerate single-run aggregate (n=1, no interval)
+        for cells without per-seed runs, so report code need not special-
+        case single-seed sweeps.
+        """
+        return aggregate_cell(
+            self.seed_runs.get(workload, {}).get(system), self.runs[workload][system]
+        )
+
+    def report(self) -> SweepReport:
+        """Text-table / JSON report of every cell's aggregate statistics."""
+        report = SweepReport()
+        for workload in self.workloads():
+            for system in self.systems(workload):
+                report.add(self.aggregate(workload, system))
+        return report
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON document of the aggregate statistics (see :class:`SweepReport`)."""
+        return self.report().to_json(indent=indent)
 
     def format_report(self) -> str:
+        """Per-run rows (base seed first), plus an aggregate table when the
+        sweep ran more than one seed."""
         lines: List[str] = []
+        multi_seed = len(self.seeds()) > 1
         for workload, row in self.runs.items():
             lines.append(f"== {workload} ==")
             for metrics in row.values():
@@ -208,6 +297,11 @@ class SweepResult:
                 if seconds is not None:
                     line += f"  wall={seconds:6.2f}s"
                 lines.append(line)
+        if multi_seed:
+            lines.append(f"== aggregate over seeds {self.seeds()} (mean±95% CI) ==")
+            for workload in self.workloads():
+                for system in self.systems(workload):
+                    lines.append("  " + self.aggregate(workload, system).format_row())
         return "\n".join(lines)
 
 
@@ -218,20 +312,27 @@ def run_sweep(
     cluster: Optional[ClusterConfig] = None,
     duration_s: float = 120.0,
     seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
     network_jitter: float = 0.05,
     workers: int = 1,
 ) -> SweepResult:
-    """Run every system variant against every workload.
+    """Run every system variant against every workload (and seed).
 
     Each workload is built **once** by the caller and replayed across the
     system variants via :meth:`WorkloadSpec.fresh_copy`, so variants see
     identical traffic without paying workload generation per run (and
     without sharing mutable request state).
 
-    ``workers`` > 1 runs the (workload, system) cells in that many worker
-    processes via :class:`~repro.experiments.sweep.SweepExecutor`; results
-    are bit-identical to the serial path for the same seeds, parallelism
-    only buys wall-clock.
+    ``seeds=[a, b, c]`` repeats every (workload, system) cell under each
+    seed: per-seed runs land in :attr:`SweepResult.seed_runs` and
+    :meth:`SweepResult.aggregate` reports mean/stdev/95% CI per metric.
+    ``seeds=None`` (default) is the historical single-seed path, and
+    ``seeds=[s]`` is bit-identical to ``seed=s``.
+
+    ``workers`` > 1 runs the (workload, system, seed) cells in that many
+    worker processes via :class:`~repro.experiments.sweep.SweepExecutor`;
+    results are bit-identical to the serial path for the same seeds,
+    parallelism only buys wall-clock.
 
     Results are indexed by each system's display name, so variants of the
     same kind must be disambiguated with ``label`` (otherwise later runs
@@ -245,5 +346,6 @@ def run_sweep(
         cluster=cluster,
         duration_s=duration_s,
         seed=seed,
+        seeds=seeds,
         network_jitter=network_jitter,
     )

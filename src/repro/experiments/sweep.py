@@ -2,9 +2,11 @@
 
 The paper's headline results (Fig. 8 macro comparison, Fig. 9 pushing
 ablation, Fig. 10 region-local) are all *sweeps*: one workload replayed
-across many system variants.  Every (workload, system) cell is an
-independent simulation -- its own :class:`~repro.sim.Environment`, its own
-seeded network -- so the cells parallelise perfectly across processes.
+across many system variants, optionally repeated across seeds
+(``seeds=[...]``) for mean/95%-CI statistics.  Every (workload, system,
+seed) cell is an independent simulation -- its own
+:class:`~repro.sim.Environment`, its own seeded network -- so the cells
+parallelise perfectly across processes.
 
 :class:`SweepExecutor` runs each cell in its own worker process (stdlib
 ``concurrent.futures.ProcessPoolExecutor``); ``workers=1`` falls back to the
@@ -45,7 +47,13 @@ from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
 from .registry import SystemSpec
 from .runner import SweepResult, run_experiment
 
-__all__ = ["SweepTask", "SweepExecutor", "run_sweep_task"]
+__all__ = [
+    "SweepTask",
+    "SweepExecutor",
+    "run_sweep_task",
+    "normalise_seeds",
+    "check_unique_system_names",
+]
 
 SystemLike = Union[SystemConfig, SystemSpec]
 _Task = TypeVar("_Task")
@@ -91,9 +99,41 @@ def run_sweep_task(task: SweepTask) -> RunMetrics:
     metrics = run_experiment(config, task.workload.fresh_copy()).metrics
     # Recorded on the metrics object (picklable, so it survives the trip
     # back from a worker process) but excluded from to_dict(): wall-clock
-    # is where-the-time-went telemetry, not part of the result identity.
+    # is where-the-time-went telemetry, not part of the result identity,
+    # and the seed is grouping bookkeeping for multi-seed aggregation.
     metrics.wall_clock_s = time.perf_counter() - start
+    metrics.seed = task.seed
     return metrics
+
+
+def check_unique_system_names(systems: Sequence[SystemLike]) -> None:
+    """Reject sweeps whose variants would collide on display name."""
+    names = [system.name for system in systems]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(
+            f"system variants share display name(s) {duplicates}; "
+            "set label=... on each variant to disambiguate"
+        )
+
+
+def normalise_seeds(seed: int, seeds: Optional[Sequence[int]]) -> List[int]:
+    """Resolve the (legacy ``seed``, new ``seeds=[...]``) parameter pair.
+
+    ``seeds=None`` means the historical single-seed behaviour: one cell per
+    (workload, system), simulated with ``seed``.  An explicit list fans
+    every cell out across its entries; it must be non-empty and free of
+    duplicates (a repeated seed would silently collapse to one sample and
+    understate the confidence interval).
+    """
+    if seeds is None:
+        return [seed]
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ValueError("seeds must be a non-empty sequence (or None for the single-seed path)")
+    if len(set(seed_list)) != len(seed_list):
+        raise ValueError(f"seeds contains duplicates: {seed_list}; each seed is one independent trial")
+    return seed_list
 
 
 class SweepExecutor:
@@ -152,6 +192,22 @@ class SweepExecutor:
             return list(pool.map(fn, tasks))
 
     # ------------------------------------------------------------------
+    def run_cells(self, tasks: Sequence[SweepTask]) -> SweepResult:
+        """Run pre-built sweep cells and assemble a :class:`SweepResult`.
+
+        The figure-level drivers use this when their cells cannot come from
+        the plain (systems x workloads x seeds) cross product -- e.g. the
+        macro benchmark rebuilds its workloads per seed.  Task order
+        matters for the legacy single-run view: the *first* task of each
+        (workload, system) cell becomes its base-seed run, so per-cell
+        seed order should match across calls that are compared.
+        """
+        result = SweepResult()
+        for metrics in self.map(run_sweep_task, list(tasks)):
+            result.add(metrics)
+        return result
+
+    # ------------------------------------------------------------------
     def run(
         self,
         systems: Sequence[SystemLike],
@@ -160,39 +216,44 @@ class SweepExecutor:
         cluster: Optional[ClusterConfig] = None,
         duration_s: float = 120.0,
         seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
         network_jitter: float = 0.05,
     ) -> SweepResult:
-        """Run every system variant against every workload.
+        """Run every system variant against every workload (and seed).
 
         Each workload is built **once** by the caller and replayed across
         the system variants (fresh request state per cell), so variants see
         identical traffic without paying workload generation per run.
 
+        ``seeds=[...]`` fans every (workload, system) cell out across the
+        listed seeds -- the per-seed runs land in
+        :attr:`SweepResult.seed_runs` and aggregate into mean/95%-CI
+        statistics via :meth:`SweepResult.aggregate`.  Because the
+        workloads are pre-built, the per-seed variation here is the
+        simulation/network randomness; drivers that also want per-seed
+        *traffic* (the macro and pushing benchmarks) rebuild their
+        workloads per seed and go through :meth:`run_cells`.
+        ``seeds=None`` (default) is the historical single-seed path, and
+        ``seeds=[s]`` is bit-identical to ``seed=s``.
+
         Results are indexed by each system's display name, so variants of
         the same kind must be disambiguated with ``label`` (otherwise later
         runs would silently overwrite earlier ones).
         """
-        names = [system.name for system in systems]
-        duplicates = sorted({name for name in names if names.count(name) > 1})
-        if duplicates:
-            raise ValueError(
-                f"system variants share display name(s) {duplicates}; "
-                "set label=... on each variant to disambiguate"
-            )
+        check_unique_system_names(systems)
         cluster = cluster or ClusterConfig()
+        seed_list = normalise_seeds(seed, seeds)
         tasks = [
             SweepTask(
                 system=system,
                 workload=workload,
                 cluster=cluster,
                 duration_s=duration_s,
-                seed=seed,
+                seed=cell_seed,
                 network_jitter=network_jitter,
             )
             for workload in workloads
             for system in systems
+            for cell_seed in seed_list
         ]
-        result = SweepResult()
-        for metrics in self.map(run_sweep_task, tasks):
-            result.add(metrics)
-        return result
+        return self.run_cells(tasks)

@@ -1,6 +1,26 @@
-"""Metrics: latency summaries and end-of-run aggregation."""
+"""Metrics: latency summaries, end-of-run aggregation and multi-seed
+statistics (mean / stdev / 95% CI across repeated-seed runs)."""
 
+from .aggregate import (
+    AGGREGATED_METRICS,
+    AggregateMetrics,
+    Statistic,
+    SweepReport,
+    aggregate_cell,
+    student_t_critical,
+)
 from .collector import RunMetrics, collect_run_metrics
 from .summary import LatencySummary, percentile
 
-__all__ = ["LatencySummary", "percentile", "RunMetrics", "collect_run_metrics"]
+__all__ = [
+    "LatencySummary",
+    "percentile",
+    "RunMetrics",
+    "collect_run_metrics",
+    "AGGREGATED_METRICS",
+    "AggregateMetrics",
+    "Statistic",
+    "SweepReport",
+    "aggregate_cell",
+    "student_t_critical",
+]

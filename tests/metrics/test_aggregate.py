@@ -1,0 +1,191 @@
+"""Aggregation math: mean / stdev / 95% CI against hand-computed fixtures.
+
+The Student-t confidence intervals are the statistical backbone of every
+multi-seed claim the benchmarks make, so the arithmetic is pinned against
+values computed by hand (and cross-checked against standard t-tables),
+not against the implementation itself.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics import (
+    AGGREGATED_METRICS,
+    AggregateMetrics,
+    LatencySummary,
+    RunMetrics,
+    Statistic,
+    SweepReport,
+    student_t_critical,
+)
+
+
+# ----------------------------------------------------------------------
+# Student-t critical values
+# ----------------------------------------------------------------------
+def test_t_table_matches_standard_values():
+    assert student_t_critical(1) == pytest.approx(12.706)
+    assert student_t_critical(2) == pytest.approx(4.303)
+    assert student_t_critical(4) == pytest.approx(2.776)
+    assert student_t_critical(30) == pytest.approx(2.042)
+    assert student_t_critical(120) == pytest.approx(1.980)
+
+
+def test_t_table_interpolation_is_conservative():
+    # Between tabulated rows the next *lower* df applies: its critical
+    # value is larger, so intervals widen rather than shrink.
+    assert student_t_critical(35) == student_t_critical(30)
+    assert student_t_critical(100) == student_t_critical(60)
+    # Beyond the table the last row applies -- wider than the normal 1.960.
+    assert student_t_critical(10_000) == pytest.approx(1.980)
+
+
+def test_t_table_rejects_zero_df():
+    with pytest.raises(ValueError, match="degrees of freedom"):
+        student_t_critical(0)
+
+
+# ----------------------------------------------------------------------
+# Statistic: hand-computed fixtures
+# ----------------------------------------------------------------------
+def test_statistic_three_samples_hand_computed():
+    # samples [1, 2, 3]: mean 2, sample stdev 1, t_{0.975,2} = 4.303
+    # => ci95 = 4.303 * 1 / sqrt(3) = 2.48434...
+    stat = Statistic.from_samples([1.0, 2.0, 3.0])
+    assert stat.n == 3
+    assert stat.mean == pytest.approx(2.0)
+    assert stat.stdev == pytest.approx(1.0)
+    assert stat.ci95 == pytest.approx(4.303 / math.sqrt(3.0))
+    assert stat.ci_low == pytest.approx(2.0 - 4.303 / math.sqrt(3.0))
+    assert stat.ci_high == pytest.approx(2.0 + 4.303 / math.sqrt(3.0))
+
+
+def test_statistic_five_samples_hand_computed():
+    # samples [10, 12, 14, 16, 18]: mean 14, stdev sqrt(10) = 3.16228,
+    # t_{0.975,4} = 2.776 => ci95 = 2.776 * sqrt(10) / sqrt(5) = 3.92595...
+    stat = Statistic.from_samples([10.0, 12.0, 14.0, 16.0, 18.0])
+    assert stat.mean == pytest.approx(14.0)
+    assert stat.stdev == pytest.approx(math.sqrt(10.0))
+    assert stat.ci95 == pytest.approx(2.776 * math.sqrt(10.0) / math.sqrt(5.0))
+
+
+def test_statistic_identical_samples_have_zero_width():
+    stat = Statistic.from_samples([7.5, 7.5, 7.5])
+    assert stat.stdev == pytest.approx(0.0)
+    assert stat.ci95 == pytest.approx(0.0)
+    assert stat.ci_low == stat.ci_high == pytest.approx(7.5)
+
+
+def test_statistic_single_sample_is_degenerate():
+    stat = Statistic.from_samples([42.0])
+    assert stat.n == 1
+    assert stat.mean == 42.0
+    assert stat.stdev is None and stat.ci95 is None
+    assert stat.ci_low is None and stat.ci_high is None
+
+
+def test_statistic_rejects_empty_samples():
+    with pytest.raises(ValueError, match="empty"):
+        Statistic.from_samples([])
+
+
+def test_statistic_to_dict_round_trips_through_json():
+    payload = json.loads(json.dumps(Statistic.from_samples([1.0, 3.0]).to_dict()))
+    assert payload["n"] == 2
+    assert payload["mean"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# AggregateMetrics over synthetic RunMetrics
+# ----------------------------------------------------------------------
+def make_run(throughput: float, ttft_p50: float, seed=None, workload="wl", system="sys"):
+    ttft = LatencySummary(
+        count=10, mean=ttft_p50, p10=ttft_p50, p25=ttft_p50, p50=ttft_p50,
+        p75=ttft_p50, p90=2 * ttft_p50, p99=2 * ttft_p50,
+        minimum=ttft_p50, maximum=2 * ttft_p50,
+    )
+    return RunMetrics(
+        system=system,
+        workload=workload,
+        duration_s=10.0,
+        num_completed=100,
+        num_issued=120,
+        throughput_tokens_per_s=throughput,
+        output_tokens_per_s=throughput / 2,
+        requests_per_s=10.0,
+        ttft=ttft,
+        e2e_latency=LatencySummary.empty(),
+        queueing_delay=LatencySummary.empty(),
+        cache_hit_rate=0.5,
+        cross_region_fraction=0.1,
+        forwarded_fraction=0.05,
+        replica_load_imbalance=1.2,
+        seed=seed,
+    )
+
+
+def test_aggregate_metrics_hand_computed():
+    runs = [
+        make_run(100.0, 0.2, seed=0),
+        make_run(110.0, 0.3, seed=1),
+        make_run(120.0, 0.4, seed=2),
+    ]
+    agg = AggregateMetrics.from_runs(runs)
+    assert agg.system == "sys" and agg.workload == "wl"
+    assert agg.seeds == (0, 1, 2)
+    assert agg.num_seeds == 3
+    tput = agg.stat("throughput_tokens_per_s")
+    assert tput.mean == pytest.approx(110.0)
+    assert tput.stdev == pytest.approx(10.0)
+    assert tput.ci95 == pytest.approx(4.303 * 10.0 / math.sqrt(3.0))
+    assert agg.mean("ttft_p50") == pytest.approx(0.3)
+    assert agg.mean("ttft_p90") == pytest.approx(0.6)
+    # Constant-across-seeds metrics collapse to zero-width intervals.
+    assert agg.stat("cache_hit_rate").ci95 == pytest.approx(0.0)
+    # Every registered metric is present.
+    assert set(agg.stats) == set(AGGREGATED_METRICS)
+
+
+def test_aggregate_rejects_mixed_cells_and_empty_input():
+    with pytest.raises(ValueError, match="multiple"):
+        AggregateMetrics.from_runs([make_run(1.0, 0.1, workload="a"), make_run(1.0, 0.1, workload="b")])
+    with pytest.raises(ValueError, match="empty"):
+        AggregateMetrics.from_runs([])
+    with pytest.raises(ValueError, match="matching lengths"):
+        AggregateMetrics.from_runs([make_run(1.0, 0.1)], seeds=[0, 1])
+
+
+def test_aggregate_seeds_default_to_recorded_or_empty():
+    stamped = AggregateMetrics.from_runs([make_run(1.0, 0.1, seed=4), make_run(2.0, 0.2, seed=9)])
+    assert stamped.seeds == (4, 9)
+    unstamped = AggregateMetrics.from_runs([make_run(1.0, 0.1), make_run(2.0, 0.2)])
+    assert unstamped.seeds == ()
+    assert unstamped.num_seeds == 2  # sample count is independent of stamping
+
+
+def test_aggregate_to_dict_and_format_row():
+    agg = AggregateMetrics.from_runs([make_run(100.0, 0.2, seed=0), make_run(120.0, 0.4, seed=1)])
+    payload = json.loads(json.dumps(agg.to_dict()))
+    assert payload["num_seeds"] == 2
+    assert payload["metrics"]["throughput_tokens_per_s"]["mean"] == pytest.approx(110.0)
+    row = agg.format_row()
+    assert "sys" in row and "±" in row and "seeds=2" in row
+
+
+# ----------------------------------------------------------------------
+# SweepReport
+# ----------------------------------------------------------------------
+def test_sweep_report_table_and_json():
+    report = SweepReport()
+    report.add(AggregateMetrics.from_runs([make_run(100.0, 0.2, seed=0), make_run(120.0, 0.4, seed=1)]))
+    report.add(AggregateMetrics.from_runs([make_run(50.0, 0.5, system="other")]))
+    table = report.format_table()
+    assert "sys" in table and "other" in table and "±" in table
+    payload = json.loads(report.to_json())
+    assert payload["schema"] == "repro-sweep-report/1"
+    assert len(payload["cells"]) == 2
+    # The single-run cell is degenerate: no interval, not a zero-width one.
+    degenerate = payload["cells"][1]["metrics"]["throughput_tokens_per_s"]
+    assert degenerate["n"] == 1 and degenerate["ci95"] is None
