@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Load-balancer failure recovery (§4.2 of the paper).
+"""Load-balancer failure recovery (§4.2 of the paper), the declarative way.
 
 The centralized controller health-probes every regional load balancer.  When
 one dies, its replicas are temporarily re-assigned to the geographically
 closest healthy balancer, DNS stops resolving clients to the dead balancer,
 and once it recovers the replicas are transferred back.
 
-This example kills the EU balancer mid-run and shows that EU clients keep
-being served (through the US balancer) during the outage.
+This example kills the EU balancer mid-run through the fault-injection
+subsystem (``repro.faults``): the outage is one declarative
+:class:`FaultSchedule`, the §4.2 controller is started automatically, and
+the before/during/after story comes back as ``metrics.resilience`` -- the
+same schedule object would drop into ``run_sweep(..., faults=...)`` or the
+Fig. 11 benchmark unchanged.
 
 Run with::
 
@@ -16,80 +20,65 @@ Run with::
 
 from __future__ import annotations
 
-from repro.cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
-from repro.core import ServiceController, SkyWalkerBalancer
-from repro.network import Network, default_topology
-from repro.sim import Environment
-from repro.workloads import ConversationConfig, ConversationWorkload
+from repro.experiments import (
+    REGISTRY,
+    ClusterConfig,
+    ExperimentConfig,
+    build_arena_workload,
+    run_experiment,
+)
+from repro.faults import BalancerFailure, FaultSchedule
 
 
 def main() -> None:
-    env = Environment()
-    topology = default_topology()
-    network = Network(env, topology, jitter_fraction=0.0, seed=0)
-    deployment = Deployment(
-        env,
-        [ReplicaSpec(region=region, count=2) for region in ("us", "eu", "asia")],
-        topology=topology,
-        network=network,
+    workload = build_arena_workload(scale=0.1, seed=1)
+
+    # One declarative scenario: the EU balancer dies 30 s in; the
+    # controller (probing every 0.5 s) detects it, re-homes its replicas,
+    # re-points DNS, and brings it back 20 s later.
+    schedule = FaultSchedule.single(
+        30.0,
+        BalancerFailure(region="eu"),
+        controller_probe_interval_s=0.5,
+        recovery_time_s=20.0,
     )
-    tracker = RequestTracker(env)
-    for replica in deployment.replicas:
-        replica.add_completion_listener(tracker.complete)
 
-    frontend = Frontend(env, network)
-    balancers = {}
-    for region in ("us", "eu", "asia"):
-        balancer = SkyWalkerBalancer(env, f"skywalker@{region}", region, network)
-        for replica in deployment.replicas_in(region):
-            balancer.add_replica(replica)
-        balancers[region] = balancer
-    for balancer in balancers.values():
-        for peer in balancers.values():
-            if peer is not balancer:
-                balancer.add_peer(peer)
-        balancer.start()
-        frontend.register_balancer(balancer)
+    config = ExperimentConfig(
+        system=REGISTRY.spec("skywalker", hash_key=workload.hash_key),
+        cluster=ClusterConfig(replicas_per_region={"us": 2, "eu": 2, "asia": 2}),
+        duration_s=120.0,
+        seed=0,
+        network_jitter=0.0,
+        faults=schedule,
+    )
+    result = run_experiment(config, workload)
 
-    controller = ServiceController(env, network, frontend,
-                                   health_probe_interval_s=0.5, recovery_time_s=20.0)
-    for balancer in balancers.values():
-        controller.register_balancer(balancer)
-    controller.start()
-
-    # Clients in every region run conversations for the whole experiment.
-    workload = ConversationWorkload(ConversationConfig(
-        regions=("us", "eu", "asia"), users_per_region=6,
-        conversations_per_user=4, turns_range=(2, 4), seed=1,
-    ))
-    for index, (region, programs) in enumerate(workload.programs_by_region().items()):
-        ClosedLoopClient(env, f"client-{region}-{index}", region, frontend, tracker, programs)
-
-    def chaos(env):
-        yield env.timeout(30.0)
-        print(f"[t={env.now:6.1f}s] killing the EU load balancer")
-        balancers["eu"].fail()
-        yield env.timeout(40.0)
-        print(f"[t={env.now:6.1f}s] outage window over "
-              f"(controller recovery time is 20s)")
-
-    env.process(chaos(env))
-    env.run(until=120.0)
-
-    print()
+    controller = result.controller
     print(f"failovers handled        : {len(controller.failovers)}")
     for record in controller.failovers:
-        print(f"  {record.failed_balancer} -> {record.takeover_balancer} "
-              f"at t={record.failed_at:.1f}s, recovered at t={record.recovered_at:.1f}s")
-    eu_requests = [r for r in tracker.completed if r.region == "eu"]
-    during_outage = [r for r in eu_requests if 30.0 <= r.sent_time <= 70.0]
+        print(
+            f"  {record.failed_balancer} -> {record.takeover_balancer} "
+            f"at t={record.failed_at:.1f}s, recovered at t={record.recovered_at:.1f}s"
+        )
+
+    resilience = result.metrics.resilience
+    start, end = resilience.outage_windows[0]
+    eu_requests = [r for r in result.completed if r.region == "eu"]
+    during_outage = [r for r in eu_requests if start <= r.sent_time <= end]
     served_by_us_lb = [r for r in during_outage if r.ingress_region == "us"]
+    eu = next(b for b in result.balancers if b.region == "eu")
+
+    print(f"outage window             : t={start:.1f}s .. t={end:.1f}s")
+    print(f"time to recovery          : {resilience.mean_time_to_recovery_s:.1f}s")
+    print(f"goodput during outage     : "
+          f"{resilience.goodput_during_outage_tokens_per_s:.0f} tok/s")
+    print(f"p90 TTFT before/during    : {resilience.ttft_p90_before_s:.3f}s / "
+          f"{resilience.ttft_p90_during_s:.3f}s")
     print(f"EU requests completed     : {len(eu_requests)}")
     print(f"  ... sent during outage  : {len(during_outage)}")
     print(f"  ... entering via the US : {len(served_by_us_lb)}")
-    print(f"EU balancer healthy again : {balancers['eu'].healthy}")
-    print(f"EU replicas back home     : "
-          f"{[r.name for r in balancers['eu'].local_replicas()]}")
+    print(f"EU balancer healthy again : {eu.healthy}")
+    print(f"EU replicas back home     : {[r.name for r in eu.local_replicas()]}")
 
 
 if __name__ == "__main__":

@@ -126,11 +126,23 @@ Sub-packages
 ``repro.core``         SkyWalker itself (two-layer router, prefix trie, CH,
                        selective pushing, controller)
 ``repro.balancers``    the baseline load balancers of §5.1
-``repro.metrics``      latency summaries, run aggregation and multi-seed
-                       statistics (mean / stdev / 95% CI)
+``repro.metrics``      latency summaries, run aggregation, multi-seed
+                       statistics (mean / stdev / 95% CI, paired per-seed
+                       diffs) and fault-run resilience metrics
 ``repro.analysis``     cost model, traffic aggregation, prefix similarity
+``repro.faults``       deterministic fault injection: picklable fault
+                       specs/schedules, name-resolved registries, and the
+                       injector driving §4.2 controller failover
 ``repro.experiments``  scenario builders and runners for every figure
 ``repro.perf``         hot-path microbenchmark suite (``python -m repro.perf``)
+
+Resilience scenarios are declarative: every ``run_*`` entry point takes
+``faults=`` (a ``repro.faults.FaultSchedule`` or a registered schedule
+name).  ``faults=None``/empty is bit-identical to the fault-free path;
+the same schedule + seed is bit-identical serially and under
+``workers=N``; faulted runs report ``RunMetrics.resilience`` (outage
+goodput, time to recovery, per-phase p90 TTFT, stranded/parked/failed
+counts).  See ``docs/RESILIENCE.md``.
 """
 
 __version__ = "1.0.0"
@@ -145,6 +157,7 @@ __all__ = [
     "balancers",
     "metrics",
     "analysis",
+    "faults",
     "experiments",
     "perf",
 ]

@@ -78,6 +78,9 @@ class Frontend:
         self.network = network
         self.dns = dns or GeoDNS(network.topology)
         self._balancers: Dict[str, BalancerEndpoint] = {}
+        #: Requests dispatched on a stale DNS record because no balancer was
+        #: healthy (total outage; only possible under fault injection).
+        self.stale_dispatches = 0
 
     def register_balancer(self, balancer: BalancerEndpoint) -> None:
         """Expose a load balancer under the shared domain name."""
@@ -94,10 +97,18 @@ class Frontend:
         return list(self._balancers.values())
 
     def dispatch(self, request: Request) -> None:
-        """Resolve the nearest healthy balancer and send the request to it."""
+        """Resolve the nearest healthy balancer and send the request to it.
+
+        When *no* balancer is healthy (a total outage under fault
+        injection) the resolver cache keeps answering with the stale
+        nearest record: the request is delivered to the dead balancer's
+        inbox and waits there for recovery, rather than erroring out."""
         endpoint = self.dns.resolve(request.region)
         if endpoint is None:
-            raise RuntimeError("no healthy load balancer available")
+            endpoint = self.dns.resolve_stale(request.region)
+            if endpoint is None:
+                raise RuntimeError("no load balancer registered")
+            self.stale_dispatches += 1
         balancer = self._balancers[endpoint]
         request.status = RequestStatus.QUEUED_AT_LB
         request.ingress_region = balancer.region

@@ -162,10 +162,16 @@ class AvailabilityMonitor:
 
     def _probe_balancer(self, balancer: "SkyWalkerBalancer"):
         yield self.network.probe_delay(self.region, balancer.region)
+        # A partitioned peer's probe never really comes back: record it as
+        # unhealthy (with no spare replicas) so the peer stops being a
+        # forward target until the link heals and a later probe lands.
+        blocked = self.network.link_blocked(
+            self.region, balancer.region
+        ) or self.network.link_blocked(balancer.region, self.region)
         self.balancer_probes[balancer.name] = LoadBalancerProbe(
             balancer_name=balancer.name,
-            healthy=balancer.healthy,
-            num_available_replicas=balancer.num_available_replicas,
+            healthy=balancer.healthy and not blocked,
+            num_available_replicas=0 if blocked else balancer.num_available_replicas,
             queue_size=balancer.queue_size,
             probe_time=self.env.now,
         )

@@ -123,8 +123,6 @@ class SkyWalkerBalancer(BalancerBase):
         self.balancer_ring: ConsistentHashRing[str] = ConsistentHashRing()
 
         self._peers: Dict[str, "SkyWalkerBalancer"] = {}
-        #: Requests left behind by a failure, pending controller re-routing.
-        self.stranded: List[Request] = []
 
         # Per-probe-epoch memo for estimated_load: selection policies rank
         # every candidate against every other (imbalance + least-load), so
@@ -197,33 +195,17 @@ class SkyWalkerBalancer(BalancerBase):
         return len(self.queue) + len(self.inbox.items)
 
     # ------------------------------------------------------------------
-    # failure handling (used by the controller)
+    # failure handling (used by the controller and the fault injector)
     # ------------------------------------------------------------------
-    def fail(self) -> List[Request]:
-        """Crash this balancer, returning the requests stuck in its queue.
-
-        The stranded requests are also kept in :attr:`stranded` so that the
-        controller (which detects the failure later via health probing) can
-        re-route them even though it was not the caller of ``fail``.
-        """
-        if not self.healthy:
-            return []
-        self.healthy = False
+    def _collect_stranded(self) -> List[Request]:
+        """The FCFS queue strands ahead of the base class's buffers."""
         stranded = list(self.queue)
         self.queue.clear()
-        while self.inbox.items:
-            stranded.append(self.inbox.items.popleft())
-        if self._process is not None and self._process.is_alive:
-            self._process.interrupt("balancer-failure")
-        self._process = None
-        self.stranded = list(stranded)
+        stranded.extend(super()._collect_stranded())
         return stranded
 
-    def take_stranded(self) -> List[Request]:
-        """Hand over (and clear) the requests stranded by a failure."""
-        stranded = getattr(self, "stranded", [])
-        self.stranded = []
-        return list(stranded)
+    def _restore_stranded(self, stranded: List[Request]) -> None:
+        self.queue.extendleft(reversed(stranded))
 
     def recover(self) -> None:
         """Restart a failed balancer with empty routing state.
@@ -238,8 +220,7 @@ class SkyWalkerBalancer(BalancerBase):
             return
         self.replica_trie.clear()
         self.snapshot_trie.clear()
-        self.healthy = True
-        self._process = self.env.process(self._serve())
+        super().recover()
 
     # ------------------------------------------------------------------
     # serving loop (HANDLEREQUEST in Algorithm 1)

@@ -69,6 +69,12 @@ class Balancer(Protocol):
     def stop(self) -> None:  # pragma: no cover
         ...
 
+    def fail(self) -> List[Request]:  # pragma: no cover
+        ...
+
+    def recover(self) -> None:  # pragma: no cover
+        ...
+
 
 class BalancerBase:
     """Shared state and behaviour for every balancer implementation.
@@ -97,6 +103,10 @@ class BalancerBase:
         self._process = None
         #: Requests accepted while no replica was healthy, in arrival order.
         self._parked: Deque[Request] = deque()
+        #: Requests left behind by a failure, pending re-routing (by the
+        #: controller for SkyWalker systems, by the fault injector
+        #: otherwise).
+        self.stranded: List[Request] = []
         self._replica_available_event: Optional[Event] = None
 
         # Statistics.
@@ -141,6 +151,70 @@ class BalancerBase:
     def submit(self, request: Request):
         """Hand a request to this balancer (returns the store-put event)."""
         return self.inbox.put(request)
+
+    # ------------------------------------------------------------------
+    # failure handling (used by the controller and the fault injector)
+    # ------------------------------------------------------------------
+    def _collect_stranded(self) -> List[Request]:
+        """Pull every not-yet-dispatched request out of this balancer's
+        buffers (subclasses with extra queues extend this)."""
+        stranded: List[Request] = list(self._parked)
+        self._parked.clear()
+        while self.inbox.items:
+            stranded.append(self.inbox.items.popleft())
+        return stranded
+
+    def _restore_stranded(self, stranded: List[Request]) -> None:
+        """Put untaken stranded requests back at the head of the queue
+        (subclasses with extra queues override to match their buffer)."""
+        self._parked.extendleft(reversed(stranded))
+
+    def fail(self) -> List[Request]:
+        """Crash this balancer, returning the requests stuck in its queues.
+
+        The stranded requests are also kept in :attr:`stranded` so whoever
+        detects the failure later (the controller via health probing, or
+        the fault injector) can re-route them via :meth:`take_stranded`.
+        The serving loop's pending ``inbox.get()`` is cancelled explicitly:
+        an abandoned getter would otherwise swallow the first request
+        delivered to the dead balancer (clients keep sending during an
+        outage -- stale DNS -- and those requests must survive in the inbox
+        until recovery).
+        """
+        if not self.healthy:
+            return []
+        self.healthy = False
+        stranded = self._collect_stranded()
+        process = self._process
+        if process is not None and process.is_alive:
+            target = process.target
+            process.interrupt("balancer-failure")
+            if target is not None:
+                self.inbox.cancel(target)
+        self._process = None
+        self.stranded = list(stranded)
+        return stranded
+
+    def take_stranded(self) -> List[Request]:
+        """Hand over (and clear) the requests stranded by a failure."""
+        stranded = self.stranded
+        self.stranded = []
+        return list(stranded)
+
+    def recover(self) -> None:
+        """Restart a failed balancer's serving loop.
+
+        Stranded requests nobody collected (no controller and no injector
+        re-dispatch, e.g. a recovery racing failure detection) are put back
+        at the head of the queue so they drain first, in arrival order.
+        """
+        if self.healthy:
+            return
+        self.healthy = True
+        if self.stranded:
+            self._restore_stranded(self.stranded)
+            self.stranded = []
+        self._process = self.env.process(self._serve())
 
     # ------------------------------------------------------------------
     # observability

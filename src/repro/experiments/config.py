@@ -27,6 +27,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from ..faults import FaultsLike
 from ..replica import LLAMA_8B_L4, ModelProfile
 from ..workloads.program import Program
 from .registry import REGISTRY, SystemSpec
@@ -186,7 +187,10 @@ class ExperimentConfig:
     """A complete end-to-end run description.
 
     ``system`` accepts either a registry-typed spec (preferred) or the
-    legacy :class:`SystemConfig` shim.
+    legacy :class:`SystemConfig` shim.  ``faults`` optionally injects a
+    deterministic :class:`~repro.faults.FaultSchedule` (or the name of a
+    registered schedule) into the run; ``None`` -- or an empty schedule --
+    leaves the simulation bit-identical to a fault-free run.
     """
 
     system: Union[SystemConfig, SystemSpec]
@@ -194,3 +198,4 @@ class ExperimentConfig:
     duration_s: float = 120.0
     seed: int = 0
     network_jitter: float = 0.05
+    faults: FaultsLike = None

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.cost import CostModel
+from ..faults import FaultsLike
 from ..metrics import AggregateMetrics, LatencySummary, RunMetrics, aggregate_cell
 from ..workloads import ARENA_LIKE, ConversationConfig, ConversationWorkload
 from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
@@ -175,6 +176,7 @@ class _DiurnalCell:
     workload: WorkloadSpec
     duration_s: float
     seed: int
+    faults: FaultsLike = None
 
 
 def _run_diurnal_cell(cell: _DiurnalCell) -> RunMetrics:
@@ -193,6 +195,7 @@ def _run_diurnal_cell(cell: _DiurnalCell) -> RunMetrics:
         cluster=cluster,
         duration_s=cell.duration_s,
         seed=cell.seed,
+        faults=cell.faults,
     )
     outcome = run_experiment(config, cell.workload.fresh_copy())
     metrics = outcome.metrics
@@ -216,6 +219,7 @@ def run_diurnal_sweep(
     seed: int = 5,
     seeds: Optional[Sequence[int]] = None,
     workers: int = 1,
+    faults: FaultsLike = None,
 ) -> DiurnalSweepResult:
     """Sweep total replica counts for SkyWalker and the region-local baseline.
 
@@ -224,7 +228,9 @@ def run_diurnal_sweep(
     per-seed runs feed :meth:`DiurnalSweepResult.aggregate`.  ``workers`` >
     1 distributes the (kind, replica count, seed) cells over that many
     worker processes; results are identical to the serial sweep for the
-    same seeds.
+    same seeds.  ``faults`` applies one deterministic fault schedule to
+    every cell (e.g. to ask how many replicas each design needs when a
+    balancer dies mid-peak).
     """
     for total in replica_counts:
         if total % len(_REGIONS) != 0:
@@ -237,6 +243,7 @@ def run_diurnal_sweep(
             workload=workload,
             duration_s=duration_s,
             seed=cell_seed,
+            faults=faults,
         )
         for cell_seed in seed_list
         for workload in (build_skewed_workload(scale=scale, seed=cell_seed),)

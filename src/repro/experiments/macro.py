@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..faults import FaultsLike
 from ..metrics import AggregateMetrics, RunMetrics, SweepReport, aggregate_cell
 from .config import ALL_SYSTEMS, ClusterConfig
 from .registry import REGISTRY
@@ -131,6 +132,7 @@ def run_macro_benchmark(
     seed: int = 0,
     seeds: Optional[Sequence[int]] = None,
     workers: int = 1,
+    faults: FaultsLike = None,
 ) -> MacroResult:
     """Run the Fig. 8 sweep and return all metrics.
 
@@ -140,7 +142,9 @@ def run_macro_benchmark(
     cell through the sweep executor; ``seeds=[s]`` is bit-identical to the
     single-seed ``seed=s`` run.  ``workers`` > 1 distributes the cells over
     that many processes; metrics are identical to the serial run for the
-    same seeds.
+    same seeds.  ``faults`` applies one deterministic fault schedule to
+    every cell, turning the macro grid into a resilience comparison (the
+    Fig. 11 failover benchmark runs exactly this).
     """
     cluster = cluster or default_macro_cluster(scale)
     specs = [REGISTRY.spec(kind) for kind in systems]
@@ -161,6 +165,7 @@ def run_macro_benchmark(
                         cluster=cluster,
                         duration_s=duration_s,
                         seed=cell_seed,
+                        faults=faults,
                     )
                 )
     sweep = SweepExecutor(workers=workers).run_cells(tasks)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..faults import FaultsLike
 from ..metrics import AggregateMetrics, RunMetrics, SweepReport, aggregate_cell
 from ..workloads import TreeOfThoughtsConfig, TreeOfThoughtsWorkload
 from .config import ClusterConfig, WorkloadSpec
@@ -111,6 +112,7 @@ def run_pushing_benchmark(
     seed: int = 7,
     seeds: Optional[Sequence[int]] = None,
     workers: int = 1,
+    faults: FaultsLike = None,
 ) -> PushingResult:
     """Run the BP / SP-O / SP-P comparison in one region.
 
@@ -118,7 +120,8 @@ def run_pushing_benchmark(
     paper's three.  ``seeds=[...]`` repeats the ablation across seeds (a
     fresh ToT workload per seed); ``seeds=[s]`` is bit-identical to
     ``seed=s``.  ``workers`` > 1 runs the (policy, seed) cells in parallel
-    worker processes (identical metrics, less wall-clock).
+    worker processes (identical metrics, less wall-clock).  ``faults``
+    applies one deterministic fault schedule to every cell.
     """
     systems = [
         SkyWalkerConfig(
@@ -148,6 +151,7 @@ def run_pushing_benchmark(
                     cluster=cluster,
                     duration_s=duration_s,
                     seed=cell_seed,
+                    faults=faults,
                 )
             )
     sweep = SweepExecutor(workers=workers).run_cells(tasks)

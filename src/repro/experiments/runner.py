@@ -20,12 +20,15 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
 from ..core.interface import Balancer
+from ..faults import FaultInjector, FaultsLike, resolve_fault_schedule
 from ..metrics import (
     AggregateMetrics,
     RunMetrics,
+    Statistic,
     SweepReport,
     aggregate_cell,
     collect_run_metrics,
+    paired_difference,
 )
 from ..network import Network, default_topology
 from ..sim import Environment
@@ -49,10 +52,18 @@ class ExperimentResult:
     tracker: RequestTracker
     frontend: Frontend
     env: Environment
+    #: Set when the run had a non-empty fault schedule.
+    injector: Optional[FaultInjector] = None
 
     @property
     def completed(self) -> List[Request]:
         return self.tracker.completed
+
+    @property
+    def controller(self):
+        """The :class:`~repro.core.controller.ServiceController` driving
+        balancer failover, when the fault injector started one."""
+        return self.injector.controller if self.injector is not None else None
 
 
 def _resolve_system(system: SystemLike, workload_hash_key: Optional[str]) -> tuple:
@@ -134,6 +145,23 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         hash_key=workload.hash_key,
     )
 
+    # Fault injection: only a non-empty schedule creates any machinery at
+    # all, so faults=None (and the empty schedule) keep the simulation's
+    # event sequence byte-identical to the historical fault-free path.
+    injector: Optional[FaultInjector] = None
+    schedule = resolve_fault_schedule(config.faults)
+    if schedule is not None and not schedule.is_empty:
+        injector = FaultInjector(
+            env,
+            schedule,
+            network=network,
+            deployment=deployment,
+            frontend=frontend,
+            balancers=balancers,
+            tracker=tracker,
+        )
+        injector.start()
+
     clients: List[ClosedLoopClient] = []
     for region, num_clients in workload.clients_per_region.items():
         programs = workload.programs_by_region.get(region, [])
@@ -164,6 +192,10 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         issued=issued,
         deployment=deployment,
     )
+    if injector is not None:
+        metrics.resilience = injector.resilience_metrics(
+            tracker.completed, duration_s=config.duration_s
+        )
     return ExperimentResult(
         metrics=metrics,
         deployment=deployment,
@@ -171,6 +203,7 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         tracker=tracker,
         frontend=frontend,
         env=env,
+        injector=injector,
     )
 
 
@@ -280,6 +313,27 @@ class SweepResult:
                 report.add(self.aggregate(workload, system))
         return report
 
+    def paired_diff(
+        self,
+        workload: str,
+        system_a: str,
+        system_b: str,
+        metric: str = "throughput_tokens_per_s",
+    ) -> Statistic:
+        """Per-seed paired difference ``metric(a) - metric(b)`` of two
+        systems on one workload (positive ``ci_low`` means ``system_a``
+        beats ``system_b`` at the 95% level).  Requires a multi-seed sweep:
+        pairing needs the same seeds on both sides."""
+        runs_a = self.seed_runs.get(workload, {}).get(system_a)
+        runs_b = self.seed_runs.get(workload, {}).get(system_b)
+        if not runs_a or not runs_b:
+            raise ValueError(
+                "paired differences need per-seed runs for both systems; "
+                f"run the sweep with seeds=[...] (got {system_a!r}: "
+                f"{sorted(runs_a or ())}, {system_b!r}: {sorted(runs_b or ())})"
+            )
+        return paired_difference(runs_a, runs_b, metric)
+
     def to_json(self, indent: int = 2) -> str:
         """JSON document of the aggregate statistics (see :class:`SweepReport`)."""
         return self.report().to_json(indent=indent)
@@ -315,6 +369,7 @@ def run_sweep(
     seeds: Optional[Sequence[int]] = None,
     network_jitter: float = 0.05,
     workers: int = 1,
+    faults: FaultsLike = None,
 ) -> SweepResult:
     """Run every system variant against every workload (and seed).
 
@@ -334,6 +389,14 @@ def run_sweep(
     results are bit-identical to the serial path for the same seeds,
     parallelism only buys wall-clock.
 
+    ``faults`` injects a deterministic fault schedule (a
+    :class:`~repro.faults.FaultSchedule` or a registered schedule name,
+    resolved inside the workers) into **every** cell, turning the sweep
+    into a resilience comparison: each run gains ``metrics.resilience``
+    (outage goodput, time to recovery, per-phase tail latency).
+    ``faults=None`` and the empty schedule are bit-identical to the
+    historical fault-free sweep.
+
     Results are indexed by each system's display name, so variants of the
     same kind must be disambiguated with ``label`` (otherwise later runs
     would silently overwrite earlier ones).
@@ -348,4 +411,5 @@ def run_sweep(
         seed=seed,
         seeds=seeds,
         network_jitter=network_jitter,
+        faults=faults,
     )

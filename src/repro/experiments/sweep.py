@@ -42,6 +42,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
+from ..faults import FaultsLike
 from ..metrics import RunMetrics
 from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
 from .registry import SystemSpec
@@ -76,6 +77,10 @@ class SweepTask:
     duration_s: float = 120.0
     seed: int = 0
     network_jitter: float = 0.05
+    #: Optional fault schedule for the cell -- a picklable
+    #: :class:`~repro.faults.FaultSchedule` of data-only specs, or the name
+    #: of a registered schedule factory (resolved inside the worker).
+    faults: FaultsLike = None
 
 
 def run_sweep_task(task: SweepTask) -> RunMetrics:
@@ -94,6 +99,7 @@ def run_sweep_task(task: SweepTask) -> RunMetrics:
         duration_s=task.duration_s,
         seed=task.seed,
         network_jitter=task.network_jitter,
+        faults=task.faults,
     )
     start = time.perf_counter()
     metrics = run_experiment(config, task.workload.fresh_copy()).metrics
@@ -218,6 +224,7 @@ class SweepExecutor:
         seed: int = 0,
         seeds: Optional[Sequence[int]] = None,
         network_jitter: float = 0.05,
+        faults: FaultsLike = None,
     ) -> SweepResult:
         """Run every system variant against every workload (and seed).
 
@@ -236,6 +243,10 @@ class SweepExecutor:
         ``seeds=None`` (default) is the historical single-seed path, and
         ``seeds=[s]`` is bit-identical to ``seed=s``.
 
+        ``faults`` applies one deterministic fault schedule (object or
+        registered name) to every cell; ``None``/empty keeps the sweep
+        bit-identical to the fault-free path.
+
         Results are indexed by each system's display name, so variants of
         the same kind must be disambiguated with ``label`` (otherwise later
         runs would silently overwrite earlier ones).
@@ -251,6 +262,7 @@ class SweepExecutor:
                 duration_s=duration_s,
                 seed=cell_seed,
                 network_jitter=network_jitter,
+                faults=faults,
             )
             for workload in workloads
             for system in systems

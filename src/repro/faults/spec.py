@@ -1,0 +1,281 @@
+"""Fault specifications and the pluggable fault registry.
+
+A *fault* is described declaratively by a frozen :class:`FaultSpec`
+dataclass -- pure data (names, scalars), so fault schedules pickle cleanly
+into sweep worker processes, exactly like the typed system specs.  What a
+fault *does* is a separate, registered **applier** resolved by the spec's
+``kind`` at injection time, mirroring the pushing/constraint/selection
+registries in :mod:`repro.core`:
+
+.. code-block:: python
+
+    from repro.faults import FaultSpec, register_fault
+
+    @dataclass(frozen=True)
+    class CoffeeSpill(FaultSpec):
+        kind: str = "coffee-spill"
+        region: str = "us"
+
+    @register_fault("coffee-spill", spec=CoffeeSpill)
+    def apply_coffee_spill(spec, ctx, record):
+        ctx.balancer_in(spec.region).fail()
+
+After registration the fault is a first-class citizen: it can appear in any
+:class:`~repro.faults.schedule.FaultSchedule`, travels through
+``run_sweep(..., faults=...)`` into worker processes (the executor forks,
+so runtime registrations carry over) and shows up in the resilience
+metrics like the built-ins.
+
+Built-in kinds (appliers live in :mod:`repro.faults.injector`):
+
+``replica-crash`` / ``replica-recover``
+    Crash one replica (aborting its in-flight work) / bring it back with a
+    cold cache.
+``balancer-fail`` / ``balancer-recover``
+    Kill a regional load balancer.  For SkyWalker-family systems the
+    injector runs a :class:`~repro.core.controller.ServiceController`, so
+    detection, replica takeover, DNS re-pointing, stranded-request
+    re-routing and recovery are all controller-driven -- the paper's §4.2
+    failover exercised end to end.  For controller-less systems (the
+    centralized baselines, the gateway) the injector plays ops itself:
+    DNS health off, stranded requests re-dispatched, recovery after
+    ``duration_s``.
+``region-partition``
+    Block the network link between two regions (messages are dropped), or
+    isolate one region from everyone (``b=None``).
+``link-latency-spike``
+    Add a constant extra one-way latency to a link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "FaultSpec",
+    "ReplicaCrash",
+    "ReplicaRecover",
+    "BalancerFailure",
+    "BalancerRecovery",
+    "RegionPartition",
+    "LinkLatencySpike",
+    "FaultEntry",
+    "register_fault",
+    "unregister_fault",
+    "registered_faults",
+    "resolve_fault",
+    "make_fault",
+]
+
+
+# ----------------------------------------------------------------------
+# fault specifications (pure data, picklable)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class for every fault's declarative description.
+
+    Subclasses add their own knobs (all defaulted) and set ``kind`` to the
+    registry name their applier is registered under.  Specs are data only:
+    the behaviour lives in the registered applier, resolved by ``kind``
+    wherever the fault is injected -- including inside sweep workers.
+    """
+
+    kind: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class ReplicaCrash(FaultSpec):
+    """Crash one replica; its in-flight and queued requests are aborted
+    (and reported to the tracker as failed so clients are unblocked)."""
+
+    kind: str = "replica-crash"
+    region: str = "us"
+    #: Index into the region's replicas, in deployment order.
+    index: int = 0
+    #: Auto-recover after this many seconds (``None`` = stays down until an
+    #: explicit ``replica-recover`` event, or forever).
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReplicaRecover(FaultSpec):
+    """Bring a crashed replica back (cold cache, fresh batcher)."""
+
+    kind: str = "replica-recover"
+    region: str = "us"
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class BalancerFailure(FaultSpec):
+    """Kill the load balancer serving ``region``.
+
+    With a controller (SkyWalker-family systems) recovery is driven by the
+    controller after its configured ``recovery_time_s`` and ``duration_s``
+    is ignored; without one the injector restores the balancer (and its
+    DNS record) after ``duration_s`` (``None`` = stays down until an
+    explicit ``balancer-recover`` event).
+    """
+
+    kind: str = "balancer-fail"
+    region: str = "eu"
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BalancerRecovery(FaultSpec):
+    """Explicitly restore a failed balancer (controller-less schedules)."""
+
+    kind: str = "balancer-recover"
+    region: str = "eu"
+
+
+@dataclass(frozen=True)
+class RegionPartition(FaultSpec):
+    """Block the link between regions ``a`` and ``b`` (both directions).
+
+    ``b=None`` isolates ``a`` from every other region.  Messages sent over
+    a blocked link are dropped (counted in ``Network.dropped_messages``);
+    peers behind the partition are marked unavailable by the availability
+    monitor as soon as their next probe lands.
+    """
+
+    kind: str = "region-partition"
+    a: str = "us"
+    b: Optional[str] = None
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkLatencySpike(FaultSpec):
+    """Add ``extra_s`` of one-way latency to the ``a``<->``b`` link."""
+
+    kind: str = "link-latency-spike"
+    a: str = "us"
+    b: str = "eu"
+    extra_s: float = 0.2
+    duration_s: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# the fault registry
+# ----------------------------------------------------------------------
+#: Applier signature: ``(spec, ctx, record) -> None``.  ``ctx`` is a
+#: :class:`repro.faults.injector.FaultContext`; ``record`` the event's
+#: :class:`repro.faults.injector.FaultRecord` (set ``target`` and resolve
+#: it when the fault heals).
+FaultApplier = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One registered fault: its name, spec class and applier."""
+
+    name: str
+    spec_cls: type
+    applier: FaultApplier
+    description: str = ""
+
+
+class FaultRegistry:
+    """Name -> :class:`FaultEntry` mapping (same shape as the system
+    registry; built-ins register on first use via a deferred import)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, FaultEntry] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.lower()
+
+    def register(
+        self,
+        name: str,
+        *,
+        spec: type = FaultSpec,
+        description: str = "",
+        replace_existing: bool = False,
+    ) -> Callable[[FaultApplier], FaultApplier]:
+        key = self._key(name)
+
+        def decorator(applier: FaultApplier) -> FaultApplier:
+            if key in self._entries and not replace_existing:
+                raise ValueError(f"fault {name!r} is already registered")
+            self._entries[key] = FaultEntry(
+                name=key, spec_cls=spec, applier=applier, description=description
+            )
+            return applier
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(self._key(name), None)
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_builtins()
+        return self._key(name) in self._entries
+
+    def names(self) -> Tuple[str, ...]:
+        self._ensure_builtins()
+        return tuple(sorted(self._entries))
+
+    def get(self, name: str) -> FaultEntry:
+        self._ensure_builtins()
+        try:
+            return self._entries[self._key(name)]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault {name!r}; registered faults: {self.names()}"
+            ) from None
+
+    def _ensure_builtins(self) -> None:
+        from . import injector  # noqa: F401  (imported for registration side effect)
+
+
+#: The process-global fault registry.
+_FAULTS = FaultRegistry()
+
+
+def register_fault(
+    name: str,
+    *,
+    spec: type = FaultSpec,
+    description: str = "",
+    replace_existing: bool = False,
+) -> Callable[[FaultApplier], FaultApplier]:
+    """Register a fault applier under ``name`` (case-insensitive).
+
+    The public extension point: decorate a callable taking
+    ``(spec, ctx, record)``.  It may mutate the stack immediately and/or
+    start follow-up simulation processes via ``ctx.env.process``.
+    """
+    return _FAULTS.register(
+        name, spec=spec, description=description, replace_existing=replace_existing
+    )
+
+
+def unregister_fault(name: str) -> None:
+    """Remove a registered fault (mainly for test cleanup)."""
+    _FAULTS.unregister(name)
+
+
+def registered_faults() -> Tuple[str, ...]:
+    """Every fault kind currently registered (built-ins and plugins)."""
+    return _FAULTS.names()
+
+
+def resolve_fault(kind: str) -> FaultEntry:
+    """Look up the registered entry for a fault kind."""
+    return _FAULTS.get(kind)
+
+
+def make_fault(kind: str, **overrides) -> FaultSpec:
+    """A default-configured spec instance for a registered fault kind."""
+    entry = _FAULTS.get(kind)
+    return entry.spec_cls(kind=entry.name, **overrides)

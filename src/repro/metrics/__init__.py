@@ -1,5 +1,7 @@
-"""Metrics: latency summaries, end-of-run aggregation and multi-seed
-statistics (mean / stdev / 95% CI across repeated-seed runs)."""
+"""Metrics: latency summaries, end-of-run aggregation, multi-seed
+statistics (mean / stdev / 95% CI, paired per-seed differences) and
+fault-run resilience metrics (outage goodput, time to recovery, per-phase
+tail latency)."""
 
 from .aggregate import (
     AGGREGATED_METRICS,
@@ -7,9 +9,11 @@ from .aggregate import (
     Statistic,
     SweepReport,
     aggregate_cell,
+    paired_difference,
     student_t_critical,
 )
 from .collector import RunMetrics, collect_run_metrics
+from .resilience import ResilienceMetrics, collect_resilience_metrics
 from .summary import LatencySummary, percentile
 
 __all__ = [
@@ -17,10 +21,13 @@ __all__ = [
     "percentile",
     "RunMetrics",
     "collect_run_metrics",
+    "ResilienceMetrics",
+    "collect_resilience_metrics",
     "AGGREGATED_METRICS",
     "AggregateMetrics",
     "Statistic",
     "SweepReport",
     "aggregate_cell",
+    "paired_difference",
     "student_t_critical",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "Statistic",
     "SweepReport",
     "aggregate_cell",
+    "paired_difference",
     "student_t_critical",
 ]
 
@@ -97,6 +98,26 @@ class Statistic:
         stdev = statistics.stdev(values)
         half_width = student_t_critical(len(values) - 1) * stdev / math.sqrt(len(values))
         return cls(n=len(values), mean=mean, stdev=stdev, ci95=half_width)
+
+    @classmethod
+    def paired_diff(cls, a: Sequence[float], b: Sequence[float]) -> "Statistic":
+        """Statistic of the per-index differences ``a[i] - b[i]``.
+
+        The right interval for same-seed system-vs-system comparisons:
+        both systems replay identical traffic under each seed, so pairing
+        by seed cancels the between-seed workload variance that would
+        inflate an unpaired interval.  A claim like "SkyWalker beats the
+        gateway" holds at the 95% level when ``ci_low > 0``.
+        """
+        left = [float(v) for v in a]
+        right = [float(v) for v in b]
+        if len(left) != len(right):
+            raise ValueError(
+                f"paired samples must have equal lengths, got {len(left)} and {len(right)}"
+            )
+        if not left:
+            raise ValueError("cannot aggregate an empty sample set")
+        return cls.from_samples([x - y for x, y in zip(left, right)])
 
     @property
     def ci_low(self) -> Optional[float]:
@@ -238,6 +259,39 @@ class AggregateMetrics:
             f"hit={hit.mean * 100:5.1f}±{ci(hit) * 100:4.1f}%  "
             f"seeds={self.num_seeds}"
         )
+
+
+def paired_difference(
+    runs_a: Dict[int, "RunMetrics"],
+    runs_b: Dict[int, "RunMetrics"],
+    metric: str = "throughput_tokens_per_s",
+) -> Statistic:
+    """Per-seed paired difference of one scalar metric between two cells.
+
+    ``runs_a`` / ``runs_b`` are seed -> :class:`RunMetrics` maps of two
+    systems from the *same* sweep (e.g. ``SweepResult.runs_for(...)``),
+    so each seed pairs two runs that saw identical traffic.  Returns the
+    :class:`Statistic` of ``metric(a) - metric(b)`` across seeds; the
+    speedup claim "a beats b" holds at the 95% level when ``ci_low > 0``.
+    """
+    if metric not in AGGREGATED_METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; aggregated metrics: "
+            f"{tuple(AGGREGATED_METRICS)}"
+        )
+    if set(runs_a) != set(runs_b):
+        raise ValueError(
+            f"paired runs must cover the same seeds; got {sorted(runs_a)} "
+            f"vs {sorted(runs_b)}"
+        )
+    if not runs_a:
+        raise ValueError("cannot pair empty run sets")
+    extract = AGGREGATED_METRICS[metric]
+    seeds = list(runs_a)
+    return Statistic.paired_diff(
+        [extract(runs_a[seed]) for seed in seeds],
+        [extract(runs_b[seed]) for seed in seeds],
+    )
 
 
 def aggregate_cell(

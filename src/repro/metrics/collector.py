@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cluster.deployment import Deployment
 from ..workloads.request import Request
+from .resilience import ResilienceMetrics
 from .summary import LatencySummary
 
 __all__ = ["RunMetrics", "collect_run_metrics"]
@@ -68,9 +69,17 @@ class RunMetrics:
     #: would otherwise be this bookkeeping field.
     seed: Optional[int] = None
 
+    #: Fault-run outcome (outage goodput, time to recovery, per-phase tail
+    #: latency, ...); set by the experiment runner only when the run had a
+    #: non-empty fault schedule.  Included in :meth:`to_dict` only when
+    #: present, so zero-fault payloads stay bit-identical to runs that
+    #: predate fault injection -- while faulted runs *do* compare it in the
+    #: serial-vs-parallel identity checks.
+    resilience: Optional[ResilienceMetrics] = None
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "system": self.system,
             "workload": self.workload,
             "duration_s": self.duration_s,
@@ -89,6 +98,9 @@ class RunMetrics:
             "peak_memory_imbalance": self.peak_memory_imbalance,
             "extra": dict(self.extra),
         }
+        if self.resilience is not None:
+            payload["resilience"] = self.resilience.to_dict()
+        return payload
 
     def format_row(self) -> str:
         """One human-readable results row (used by the bench harness)."""

@@ -25,6 +25,7 @@ class GeoDNS:
         #: endpoint name -> health flag
         self._healthy: Dict[str, bool] = {}
         self.resolutions = 0
+        self.stale_resolutions = 0
 
     # ------------------------------------------------------------------
     def register(self, endpoint: str, region: str) -> None:
@@ -52,15 +53,29 @@ class GeoDNS:
         return self._endpoints[endpoint]
 
     # ------------------------------------------------------------------
-    def resolve(self, client_region: str) -> Optional[str]:
-        """Return the healthy endpoint with the lowest latency from the client."""
-        self.resolutions += 1
+    def _nearest(self, client_region: str, endpoints: Iterable[str]) -> Optional[str]:
+        """The candidate endpoint with the lowest one-way client latency."""
         best: Optional[str] = None
         best_latency = float("inf")
-        for endpoint, region in self._endpoints.items():
-            if not self._healthy[endpoint]:
-                continue
-            latency = self.topology.one_way(client_region, region)
+        for endpoint in endpoints:
+            latency = self.topology.one_way(client_region, self._endpoints[endpoint])
             if latency < best_latency:
                 best, best_latency = endpoint, latency
         return best
+
+    def resolve(self, client_region: str) -> Optional[str]:
+        """Return the healthy endpoint with the lowest latency from the client."""
+        self.resolutions += 1
+        return self._nearest(
+            client_region,
+            (endpoint for endpoint in self._endpoints if self._healthy[endpoint]),
+        )
+
+    def resolve_stale(self, client_region: str) -> Optional[str]:
+        """Nearest endpoint *ignoring* health -- the record a resolver cache
+        keeps serving during a total outage.  Requests sent to it queue
+        against the dead balancer until recovery instead of erroring out,
+        which is exactly how a centralized single-balancer deployment
+        behaves when its one balancer dies."""
+        self.stale_resolutions += 1
+        return self._nearest(client_region, self._endpoints)

@@ -11,7 +11,7 @@ expensive than SkyWalker's two-layer design.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..sim import Environment, Store
 from .topology import NetworkTopology
@@ -38,11 +38,66 @@ class Network:
         self.messages_sent = 0
         self.cross_region_messages = 0
         self.probe_count = 0
+        # Link-fault state (driven by repro.faults): blocked directed links
+        # drop messages, extra latency models congestion spikes.  Both start
+        # empty so fault-free runs take byte-identical code paths.
+        self._blocked_links: Dict[Tuple[str, str], int] = {}
+        self._extra_latency: Dict[Tuple[str, str], float] = {}
+        self.dropped_messages = 0
+
+    # ------------------------------------------------------------------
+    # link faults (partitions and latency spikes)
+    # ------------------------------------------------------------------
+    def set_link_blocked(
+        self, src: str, dst: str, blocked: bool = True, *, symmetric: bool = True
+    ) -> None:
+        """(Un)block a link: messages sent over a blocked link are dropped
+        and counted in :attr:`dropped_messages` (a network partition).
+
+        Blocks are reference-counted per direction, so overlapping faults
+        compose: a link stays down until *every* fault that blocked it has
+        healed (an unblock without a matching block is a no-op).
+        """
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            if blocked:
+                self._blocked_links[pair] = self._blocked_links.get(pair, 0) + 1
+            else:
+                count = self._blocked_links.get(pair, 0)
+                if count <= 1:
+                    self._blocked_links.pop(pair, None)
+                else:
+                    self._blocked_links[pair] = count - 1
+
+    def link_blocked(self, src: str, dst: str) -> bool:
+        """Is the directed ``src -> dst`` link currently partitioned away?"""
+        return (src, dst) in self._blocked_links
+
+    def set_link_extra_latency(
+        self, src: str, dst: str, extra_s: float, *, symmetric: bool = True
+    ) -> None:
+        """Add ``extra_s`` seconds of one-way latency to a link (``0``
+        clears the spike).  Jitter applies to the inflated latency, the
+        way real congestion inflates variance along with the mean."""
+        if extra_s < 0:
+            raise ValueError("extra latency must be non-negative")
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            if extra_s == 0:
+                self._extra_latency.pop(pair, None)
+            else:
+                self._extra_latency[pair] = extra_s
+
+    def link_extra_latency(self, src: str, dst: str) -> float:
+        """The current latency-spike surcharge on ``src -> dst``."""
+        return self._extra_latency.get((src, dst), 0.0)
 
     # ------------------------------------------------------------------
     def sample_one_way(self, src: str, dst: str) -> float:
         """One-way latency sample (base latency plus bounded jitter)."""
         base = self.topology.one_way(src, dst)
+        if self._extra_latency:
+            base += self._extra_latency.get((src, dst), 0.0)
         if self.jitter_fraction <= 0:
             return base
         jitter = base * self.jitter_fraction
@@ -53,10 +108,16 @@ class Network:
 
     # ------------------------------------------------------------------
     def deliver(self, item: Any, src: str, dst: str, inbox: Store) -> None:
-        """Asynchronously place ``item`` into ``inbox`` after the network delay."""
+        """Asynchronously place ``item`` into ``inbox`` after the network delay.
+
+        Messages over a partitioned link are dropped (the packet-loss view
+        of a partition): the item never arrives, even if the link heals."""
         self.messages_sent += 1
         if src != dst:
             self.cross_region_messages += 1
+        if (src, dst) in self._blocked_links:
+            self.dropped_messages += 1
+            return
         delay = self.sample_one_way(src, dst)
         self.env.process(self._deliver_later(delay, item, inbox))
 
@@ -69,6 +130,9 @@ class Network:
         self.messages_sent += 1
         if src != dst:
             self.cross_region_messages += 1
+        if (src, dst) in self._blocked_links:
+            self.dropped_messages += 1
+            return
         delay = self.sample_one_way(src, dst)
         self.env.process(self._call_later(delay, callback))
 

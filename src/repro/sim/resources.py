@@ -70,6 +70,27 @@ class Store:
         """Request to remove and return the oldest item; returns an event."""
         return StoreGet(self)
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending put/get request from this store.
+
+        Needed when the process waiting on the event was interrupted or
+        killed: an abandoned ``get()`` left in the queue would otherwise
+        consume the next item put into the store and hand it to an event
+        nobody listens to any more (silently losing the item).  Returns
+        ``True`` if the event was found and removed; events that do not
+        belong to this store (or already triggered) are a ``False`` no-op,
+        so callers may pass whatever their process was last waiting on.
+        """
+        if not isinstance(event, (StorePut, StoreGet)):
+            return False
+        for queue in (self._get_queue, self._put_queue):
+            try:
+                queue.remove(event)
+                return True
+            except ValueError:
+                continue
+        return False
+
     # ------------------------------------------------------------------
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self.capacity:

@@ -73,16 +73,23 @@ def test_hybrid_plugin_is_registered_without_runner_edits():
 def test_unknown_kind_raises_from_registry_and_shim():
     with pytest.raises(ValueError):
         REGISTRY.get("quantum-balancer")
-    with pytest.raises(ValueError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
         SystemConfig(kind="quantum-balancer")
 
 
 # ----------------------------------------------------------------------
-# legacy shim resolution
+# legacy shim resolution (the shim's own deprecation tests -- the only
+# remaining SystemConfig construction sites in the suite)
 # ----------------------------------------------------------------------
+def legacy_config(**kwargs):
+    """Construct the deprecated shim, asserting the deprecation warning."""
+    with pytest.warns(DeprecationWarning, match="SystemConfig"):
+        return SystemConfig(**kwargs)
+
+
 def test_legacy_config_resolves_to_typed_spec():
-    legacy = SystemConfig(kind="skywalker", pushing="SP-O", sp_o_threshold=7,
-                          prefix_match_threshold=0.9, constraint="gdpr")
+    legacy = legacy_config(kind="skywalker", pushing="SP-O", sp_o_threshold=7,
+                           prefix_match_threshold=0.9, constraint="gdpr")
     spec = legacy.resolve()
     assert isinstance(spec, SkyWalkerConfig)
     assert spec.kind == "skywalker"
@@ -93,12 +100,12 @@ def test_legacy_config_resolves_to_typed_spec():
 
 
 def test_legacy_gateway_spill_threshold_aliases():
-    spec = SystemConfig(kind="gke-gateway", gateway_spill_threshold=3.5).resolve()
+    spec = legacy_config(kind="gke-gateway", gateway_spill_threshold=3.5).resolve()
     assert spec.spill_threshold == pytest.approx(3.5)
 
 
 def test_legacy_shim_accepts_plugin_kinds():
-    config = SystemConfig(kind="skywalker-hybrid")
+    config = legacy_config(kind="skywalker-hybrid")
     assert isinstance(config.resolve(), SkyWalkerHybridConfig)
 
 
@@ -106,9 +113,9 @@ def test_resolve_keeps_legacy_hash_key_precedence():
     # Legacy precedence: the workload's natural key always won, because the
     # shim's hash_key default ("user") cannot signal "explicitly set".
     # resolve() therefore must not turn that default into a typed override.
-    spec = SystemConfig(kind="consistent-hash").resolve()
+    spec = legacy_config(kind="consistent-hash").resolve()
     assert spec.hash_key is None
-    spec = SystemConfig(kind="skywalker", hash_key="session").resolve()
+    spec = legacy_config(kind="skywalker", hash_key="session").resolve()
     assert spec.hash_key is None
 
 
@@ -121,7 +128,7 @@ def test_resolve_keeps_legacy_hash_key_precedence():
 )
 def test_constraints_are_built_for_skywalker(stack, constraint, expected_cls):
     balancers = build(
-        SystemConfig(kind="skywalker", constraint=constraint),
+        SkyWalkerConfig(kind="skywalker", constraint=constraint),
         stack,
         client_regions=("us", "eu", "asia"),
     )
@@ -132,7 +139,7 @@ def test_constraints_are_built_for_skywalker(stack, constraint, expected_cls):
 
 def test_unknown_constraint_raises(stack):
     with pytest.raises(ValueError, match="unknown constraint"):
-        build(SystemConfig(kind="skywalker", constraint="lunar"), stack)
+        build(SkyWalkerConfig(kind="skywalker", constraint="lunar"), stack)
 
 
 # ----------------------------------------------------------------------
@@ -201,7 +208,7 @@ def test_register_system_round_trip(stack):
     try:
         assert "unit-test-system" in registered_system_kinds()
         # The legacy shim accepts the new kind immediately.
-        legacy = SystemConfig(kind="unit-test-system")
+        legacy = legacy_config(kind="unit-test-system")
         assert build(legacy, stack) == []
         spec, ctx = calls[0]
         assert spec.kind == "unit-test-system"
@@ -311,7 +318,7 @@ def test_fresh_copy_preserves_structure_with_pristine_requests():
 def test_skywalker_hybrid_completes_requests_end_to_end():
     workload = build_arena_workload(scale=0.03)
     config = ExperimentConfig(
-        system=SystemConfig(kind="skywalker-hybrid", hash_key=workload.hash_key),
+        system=REGISTRY.spec("skywalker-hybrid", hash_key=workload.hash_key),
         cluster=ClusterConfig(
             replicas_per_region={"us": 1, "eu": 1, "asia": 1}, profile=TINY_TEST_PROFILE
         ),

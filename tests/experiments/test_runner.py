@@ -4,9 +4,9 @@ import pytest
 
 from repro.experiments import (
     ALL_SYSTEMS,
+    REGISTRY,
     ClusterConfig,
     ExperimentConfig,
-    SystemConfig,
     build_arena_workload,
     build_skewed_workload,
     run_experiment,
@@ -24,7 +24,7 @@ def tiny_cluster(per_region=1, **kwargs):
 def run_tiny(kind, *, duration=40.0, scale=0.03, workload_builder=build_arena_workload, **system_kwargs):
     workload = workload_builder(scale=scale)
     config = ExperimentConfig(
-        system=SystemConfig(kind=kind, hash_key=workload.hash_key, **system_kwargs),
+        system=REGISTRY.spec(kind, hash_key=workload.hash_key, **system_kwargs),
         cluster=tiny_cluster(),
         duration_s=duration,
         seed=1,
@@ -76,7 +76,7 @@ def test_skywalker_offloads_under_regional_skew():
     # region, so cross-region offloading must kick in.
     workload = build_skewed_workload(scale=0.08)
     config = ExperimentConfig(
-        system=SystemConfig(kind="skywalker", hash_key=workload.hash_key),
+        system=REGISTRY.spec("skywalker", hash_key=workload.hash_key),
         cluster=tiny_cluster(profile=TINY_TEST_PROFILE),
         duration_s=60.0,
         seed=1,

@@ -189,3 +189,63 @@ def test_sweep_report_table_and_json():
     # The single-run cell is degenerate: no interval, not a zero-width one.
     degenerate = payload["cells"][1]["metrics"]["throughput_tokens_per_s"]
     assert degenerate["n"] == 1 and degenerate["ci95"] is None
+
+
+# ----------------------------------------------------------------------
+# paired per-seed differences: hand-computed fixtures
+# ----------------------------------------------------------------------
+def test_paired_diff_hand_computed():
+    # a = [11, 13, 15], b = [9, 10, 11] -> diffs [2, 3, 4]: mean 3,
+    # stdev 1, t_{0.975,2} = 4.303 => ci95 = 4.303 / sqrt(3) = 2.48434...
+    stat = Statistic.paired_diff([11.0, 13.0, 15.0], [9.0, 10.0, 11.0])
+    assert stat.n == 3
+    assert stat.mean == pytest.approx(3.0)
+    assert stat.stdev == pytest.approx(1.0)
+    assert stat.ci95 == pytest.approx(4.303 / math.sqrt(3.0))
+    # The whole interval is positive: "a beats b" holds at the 95% level.
+    assert stat.ci_low > 0
+
+
+def test_paired_diff_removes_between_seed_variance():
+    # Systems track each other across wildly different seeds: the paired
+    # interval is tight (constant diff => zero width) while the unpaired
+    # per-system spread is huge.  This asymmetry is the whole point.
+    a = [100.0, 500.0, 900.0]
+    b = [90.0, 490.0, 890.0]
+    paired = Statistic.paired_diff(a, b)
+    assert paired.mean == pytest.approx(10.0)
+    assert paired.ci95 == pytest.approx(0.0)
+    assert Statistic.from_samples(a).ci95 > 100.0
+
+
+def test_paired_diff_validates_inputs():
+    with pytest.raises(ValueError, match="equal lengths"):
+        Statistic.paired_diff([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError, match="empty"):
+        Statistic.paired_diff([], [])
+
+
+def test_paired_difference_aligns_runs_by_seed():
+    from repro.metrics import paired_difference
+
+    runs_a = {1: make_run(110.0, 0.1, seed=1), 2: make_run(220.0, 0.1, seed=2)}
+    runs_b = {2: make_run(200.0, 0.1, seed=2), 1: make_run(100.0, 0.1, seed=1)}
+    # Insertion order differs; pairing must align by seed key: diffs
+    # [10, 20] -> mean 15, stdev sqrt(50), t_{0.975,1} = 12.706.
+    stat = paired_difference(runs_a, runs_b, "throughput_tokens_per_s")
+    assert stat.mean == pytest.approx(15.0)
+    assert stat.stdev == pytest.approx(math.sqrt(50.0))
+    assert stat.ci95 == pytest.approx(12.706 * math.sqrt(50.0) / math.sqrt(2.0))
+
+
+def test_paired_difference_validates_seeds_and_metric():
+    from repro.metrics import paired_difference
+
+    runs_a = {1: make_run(110.0, 0.1, seed=1)}
+    runs_b = {2: make_run(100.0, 0.1, seed=2)}
+    with pytest.raises(ValueError, match="same seeds"):
+        paired_difference(runs_a, runs_b)
+    with pytest.raises(ValueError, match="unknown metric"):
+        paired_difference(runs_a, {1: runs_b[2]}, "vibes")
+    with pytest.raises(ValueError, match="empty"):
+        paired_difference({}, {})

@@ -87,3 +87,78 @@ def test_probe_delay_counts_probes(env, net):
     env.process(prober(env))
     env.run()
     assert net.probe_count == 1
+
+
+# ----------------------------------------------------------------------
+# link faults (partitions and latency spikes)
+# ----------------------------------------------------------------------
+def test_blocked_link_drops_messages_both_ways(env, net):
+    inbox = Store(env)
+    net.set_link_blocked("us", "eu")
+    net.deliver("lost-there", "us", "eu", inbox)
+    net.deliver("lost-back", "eu", "us", inbox)
+    net.deliver("arrives", "us", "asia", inbox)
+    env.run()
+    assert list(inbox.items) == ["arrives"]
+    assert net.dropped_messages == 2
+    # Healing restores delivery (new messages only; dropped ones are gone).
+    net.set_link_blocked("us", "eu", False)
+    net.deliver("post-heal", "us", "eu", inbox)
+    env.run()
+    assert list(inbox.items) == ["arrives", "post-heal"]
+    assert not net.link_blocked("us", "eu") and not net.link_blocked("eu", "us")
+
+
+def test_blocked_link_drops_callbacks_too(env, net):
+    fired = []
+    net.set_link_blocked("us", "eu")
+    net.call_after_delay("us", "eu", lambda: fired.append("nope"))
+    env.run()
+    assert fired == []
+    assert net.dropped_messages == 1
+
+
+def test_asymmetric_block(env, net):
+    inbox = Store(env)
+    net.set_link_blocked("us", "eu", symmetric=False)
+    net.deliver("dropped", "us", "eu", inbox)
+    net.deliver("arrives", "eu", "us", inbox)
+    env.run()
+    assert list(inbox.items) == ["arrives"]
+
+
+def test_latency_spike_inflates_one_way_samples(env, net):
+    base = net.topology.one_way("us", "eu")
+    net.set_link_extra_latency("us", "eu", 0.25)
+    assert net.sample_one_way("us", "eu") == pytest.approx(base + 0.25)
+    assert net.sample_one_way("eu", "us") == pytest.approx(base + 0.25)
+    assert net.link_extra_latency("us", "eu") == pytest.approx(0.25)
+    # Other links are untouched, and clearing restores the baseline.
+    assert net.sample_one_way("us", "asia") == pytest.approx(net.topology.one_way("us", "asia"))
+    net.set_link_extra_latency("us", "eu", 0.0)
+    assert net.sample_one_way("us", "eu") == pytest.approx(base)
+
+
+def test_latency_spike_rejects_negative(env, net):
+    with pytest.raises(ValueError, match="non-negative"):
+        net.set_link_extra_latency("us", "eu", -0.1)
+
+
+def test_overlapping_blocks_are_reference_counted(env, net):
+    # Two overlapping faults block the same link; it must stay down until
+    # BOTH have healed (the shorter fault's heal must not punch a hole in
+    # the longer isolation).
+    inbox = Store(env)
+    net.set_link_blocked("us", "eu")   # long-lived isolation
+    net.set_link_blocked("us", "eu")   # shorter overlapping partition
+    net.set_link_blocked("us", "eu", False)  # shorter fault heals first
+    net.deliver("still-dropped", "us", "eu", inbox)
+    env.run()
+    assert list(inbox.items) == []
+    assert net.link_blocked("us", "eu")
+    net.set_link_blocked("us", "eu", False)  # isolation heals
+    assert not net.link_blocked("us", "eu")
+    # Unbalanced unblocks are a no-op, not an error (and do not go negative).
+    net.set_link_blocked("us", "eu", False)
+    net.set_link_blocked("us", "eu")
+    assert net.link_blocked("us", "eu")

@@ -139,3 +139,26 @@ def test_resource_context_manager_releases(env):
 def test_resource_invalid_capacity(env):
     with pytest.raises(ValueError):
         Resource(env, capacity=0)
+
+
+def test_store_cancel_withdraws_an_abandoned_get(env):
+    store = Store(env)
+    getter = store.get()
+    assert store.cancel(getter) is True
+    # The queued item must go to a *live* getter, not the cancelled one.
+    store.put("item")
+    live = store.get()
+    env.run()
+    assert live.value == "item"
+    assert not getter.triggered
+
+
+def test_store_cancel_is_a_noop_for_foreign_or_triggered_events(env):
+    store = Store(env)
+    other = Store(env)
+    getter = other.get()
+    assert store.cancel(getter) is False  # belongs to another store
+    assert store.cancel(env.timeout(1)) is False  # not a store event at all
+    put = store.put("x")
+    env.run()
+    assert store.cancel(put) is False  # already triggered and dequeued
