@@ -107,12 +107,9 @@ description picklable for the process-parallel sweeps):
   ``repro.core.register_selection_policy`` / ``make_selection_policy``,
   making custom names valid as ``SkyWalkerBalancer(routing=...)``.
 
-Deprecation note: the grab-bag ``SystemConfig(kind=...)`` dataclass is a
-deprecation-only shim (constructing one warns, no first-party example or
-benchmark uses it) -- it still resolves to the registered typed config via
-``SystemConfig.resolve()``, but new code should use the typed configs
-(``SkyWalkerConfig``, ``GatewayConfig``, ``CentralizedConfig``, ...) or
-``REGISTRY.spec(kind, **overrides)``.  ``REGISTRY.spec`` is also the only
+Systems are always described by these typed configs (``SkyWalkerConfig``,
+``GatewayConfig``, ``CentralizedConfig``, ...) or by
+``REGISTRY.spec(kind, **overrides)`` -- the latter is also the only
 spelling that supports plugin-registered kinds with their own extra knobs
 (e.g. ``REGISTRY.spec("skywalker-hybrid", hybrid_load_weight=0.2)``).
 

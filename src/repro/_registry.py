@@ -1,0 +1,74 @@
+"""Shared name -> factory registry behind the policy plug-in points.
+
+Pushing policies, selection policies and routing constraints all follow the
+same pattern: built-ins and third parties register a factory under a name
+with an ``@register_*`` decorator, and configs carry only the (picklable)
+name, resolved against the registry wherever the system is built --
+including inside sweep worker processes.  This module is the one
+implementation of that pattern; the public faces live in
+:mod:`repro.core.pushing`, :mod:`repro.core.selection` and
+:mod:`repro.core.policies`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, TypeVar
+
+__all__ = ["NameRegistry"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class NameRegistry:
+    """Case-insensitive name -> factory mapping with decorator registration.
+
+    Parameters
+    ----------
+    kind:
+        Singular human name used in error messages ("pushing policy", ...).
+    plural:
+        Plural used when listing registered names in error messages.
+    normalize:
+        Canonical form of names (``str.upper`` for the pushing policies'
+        historical ``"SP-P"`` style, ``str.lower`` elsewhere).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        plural: str,
+        normalize: Callable[[str], str] = str.lower,
+    ) -> None:
+        self.kind = kind
+        self.plural = plural
+        self.normalize = normalize
+        self._factories: Dict[str, Callable] = {}
+
+    def register(self, name: str, *, replace_existing: bool = False) -> Callable[[F], F]:
+        """Decorator registering a factory (class or callable) under ``name``."""
+        key = self.normalize(name)
+
+        def decorator(factory: F) -> F:
+            if key in self._factories and not replace_existing:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self._factories[key] = factory
+            return factory
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        self._factories.pop(self.normalize(name), None)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    def make(self, name: str, *args, **kwargs):
+        """Instantiate the factory registered under ``name``."""
+        try:
+            factory = self._factories[self.normalize(name)]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered {self.plural}: {self.names()}"
+            ) from None
+        return factory(*args, **kwargs)

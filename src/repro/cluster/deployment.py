@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..mem import MemoryConfig
 from ..network import Network, NetworkTopology, default_topology
 from ..replica import LLAMA_8B_L4, ModelProfile, ReplicaServer
 from ..sim import Environment
@@ -38,7 +39,7 @@ class Deployment:
         from the topology if not supplied.
     specs:
         One :class:`ReplicaSpec` per (region, profile) group.
-    enable_prefix_cache / record_utilization:
+    enable_prefix_cache / memory / record_utilization:
         Forwarded to every replica.
     """
 
@@ -50,6 +51,7 @@ class Deployment:
         topology: Optional[NetworkTopology] = None,
         network: Optional[Network] = None,
         enable_prefix_cache: bool = True,
+        memory: Optional[MemoryConfig] = None,
         record_utilization: bool = False,
     ) -> None:
         self.env = env
@@ -69,6 +71,7 @@ class Deployment:
                     spec.region,
                     spec.profile,
                     enable_prefix_cache=enable_prefix_cache,
+                    memory=memory,
                     record_utilization=record_utilization,
                 )
                 self.replicas.append(replica)

@@ -340,6 +340,13 @@ class SkyWalkerBalancer(BalancerBase):
         self._dispatch(request, replica)
         self.local_dispatches += 1
 
+    def _known_prefix_tokens(self, request: Request, replica: ReplicaServer) -> int:
+        """What the affinity trie says ``replica`` already holds of this
+        prompt -- the part a selective push does not need to ship."""
+        if self.selection.maintains_prefix_trees:
+            return self.replica_trie.match_length(request.prompt_tokens, replica.name)
+        return 0
+
     def _note_dispatch(self, request: Request, replica: ReplicaServer) -> None:
         if self.selection.maintains_prefix_trees:
             self.replica_trie.insert(request.prompt_tokens, replica.name)

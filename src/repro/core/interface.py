@@ -108,10 +108,20 @@ class BalancerBase:
         #: otherwise).
         self.stranded: List[Request] = []
         self._replica_available_event: Optional[Event] = None
+        #: Optional :class:`~repro.mem.TransferModel` for pushed KV
+        #: prefixes.  When set (via ``MemoryConfig.push_*``), every dispatch
+        #: serialises the payload's transfer time on top of the link delay:
+        #: blind pushes ship the whole prompt's KV, prefix-aware selective
+        #: pushes only the suffix the target is not known to hold.  ``None``
+        #: (default) keeps dispatch latency payload-independent.
+        self.push_transfer = None
 
         # Statistics.
         self.received_requests = 0
         self.dispatched_requests = 0
+        self.pushed_prefix_tokens = 0
+        self.pushed_prefix_bytes = 0
+        self.push_transfer_s = 0.0
 
     # ------------------------------------------------------------------
     # wiring
@@ -305,10 +315,43 @@ class BalancerBase:
         request.response_network_delay = self.network.topology.one_way(
             replica.region, request.region
         )
+        # Payload cost of the push, computed *before* _note_dispatch records
+        # this prompt in the routing trees (else the request would always
+        # appear fully resident on its own target).
+        extra_delay = 0.0
+        if self.push_transfer is not None:
+            pushed = self._push_payload_tokens(request, replica)
+            if pushed > 0:
+                extra_delay = self.push_transfer.delay_s(pushed)
+                self.pushed_prefix_tokens += pushed
+                self.pushed_prefix_bytes += self.push_transfer.bytes_for(pushed)
+                self.push_transfer_s += extra_delay
         self.outstanding[replica.name] = self.outstanding.get(replica.name, 0) + 1
         self._note_dispatch(request, replica)
-        self.network.deliver(request, self.region, replica.region, replica.inbox)
+        self.network.deliver(
+            request, self.region, replica.region, replica.inbox, extra_delay=extra_delay
+        )
         self.dispatched_requests += 1
+
+    def _push_payload_tokens(self, request: Request, replica: ReplicaServer) -> int:
+        """KV tokens that must ship with this push (Fig. 6 cost model).
+
+        A blind push (BP, and any balancer without a pushing policy) cannot
+        know what the target holds, so it ships the whole prompt's KV; a
+        selective, prefix-aware push ships only the suffix beyond what
+        :meth:`_known_prefix_tokens` says is already resident.
+        """
+        policy = getattr(self, "pushing_policy", None)
+        if policy is None:
+            return request.prompt_len
+        return policy.pushed_prefix_tokens(
+            request.prompt_len, self._known_prefix_tokens(request, replica)
+        )
+
+    def _known_prefix_tokens(self, request: Request, replica: ReplicaServer) -> int:
+        """Tokens of this prompt the balancer believes ``replica`` holds
+        (subclasses with prefix-affinity state override)."""
+        return 0
 
     def _note_dispatch(self, request: Request, replica: ReplicaServer) -> None:
         """Subclass hook: update routing state on the dispatch path."""

@@ -85,6 +85,20 @@ class PushingPolicy:
         """
         raise NotImplementedError
 
+    def pushed_prefix_tokens(self, prompt_tokens: int, resident_tokens: int) -> int:
+        """KV tokens a push of this request must ship to its target.
+
+        When the balancer models push transfer costs
+        (``MemoryConfig.push_*``), this is what makes BP vs SP-O/SP-P costs
+        size-dependent: a blind push cannot know what the target already
+        holds, so it ships the whole prompt's KV; a selective, prefix-aware
+        push ships only the suffix beyond the target's known-resident prefix
+        (``resident_tokens``, from the balancer's affinity tree).
+        """
+        if self.blind:
+            return prompt_tokens
+        return max(0, prompt_tokens - resident_tokens)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<{type(self).__name__}>"
 

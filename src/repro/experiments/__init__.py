@@ -9,8 +9,7 @@ same way (``repro.core``'s ``register_pushing_policy`` /
 ``register_constraint`` / ``register_selection_policy``), which keeps every
 experiment description picklable: :mod:`.sweep`'s :class:`SweepExecutor`
 runs each (workload, system) cell of a sweep in its own worker process and
-returns metrics bit-identical to the serial loop.  The legacy
-``SystemConfig(kind=...)`` shim remains supported but is deprecated.
+returns metrics bit-identical to the serial loop.
 """
 
 from .config import (
@@ -19,7 +18,6 @@ from .config import (
     SYSTEM_KINDS,
     ClusterConfig,
     ExperimentConfig,
-    SystemConfig,
     WorkloadSpec,
 )
 from .diurnal_sweep import DiurnalSweepResult, build_skewed_workload, run_diurnal_sweep
@@ -79,7 +77,6 @@ __all__ = [
     "SkyWalkerHybridConfig",
     "HybridSelection",
     # configuration
-    "SystemConfig",
     "ClusterConfig",
     "WorkloadSpec",
     "ExperimentConfig",

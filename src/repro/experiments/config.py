@@ -2,38 +2,30 @@
 
 Every end-to-end run is described by three pieces:
 
-* a *system* description -- either a typed spec from the system registry
+* a *system* description -- a typed spec from the system registry
   (:class:`~repro.experiments.registry.SystemSpec` subclasses such as
-  ``SkyWalkerConfig`` or ``GatewayConfig``) or the legacy
-  :class:`SystemConfig` shim,
-* a :class:`ClusterConfig` -- how many replicas per region and which model
-  profile they run, and
+  ``SkyWalkerConfig`` or ``GatewayConfig``),
+* a :class:`ClusterConfig` -- how many replicas per region, which model
+  profile they run, and how their KV memory is organised
+  (:class:`~repro.mem.MemoryConfig`), and
 * a :class:`WorkloadSpec` -- the programs each region's clients execute.
 
 Keeping the description declarative lets the benchmark harness sweep systems
 and workloads without duplicating wiring code.
-
-.. deprecated::
-    :class:`SystemConfig` (the single grab-bag ``kind=...`` dataclass) is a
-    compatibility shim over the system registry.  New code should use the
-    registered typed configs (``repro.experiments.systems`` /
-    ``REGISTRY.spec(kind, ...)``); ``SystemConfig`` remains supported and
-    simply resolves through :meth:`SystemConfig.resolve`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional
 
 from ..faults import FaultsLike
+from ..mem import MemoryConfig
 from ..replica import LLAMA_8B_L4, ModelProfile
 from ..workloads.program import Program
-from .registry import REGISTRY, SystemSpec
+from .registry import SystemSpec
 
 __all__ = [
-    "SystemConfig",
     "ClusterConfig",
     "WorkloadSpec",
     "ExperimentConfig",
@@ -70,61 +62,6 @@ ALL_SYSTEMS = BASELINE_SYSTEMS + ("skywalker-ch", "skywalker")
 
 
 @dataclass(frozen=True)
-class SystemConfig:
-    """Which balancer architecture to build and how to configure it.
-
-    .. deprecated::
-        Deprecation-only shim: no first-party example or benchmark uses it
-        any more, and constructing one emits a :class:`DeprecationWarning`.
-        It remains functional so third-party scripts keep running.  The
-        union of every system's knobs lives here; the registry's typed
-        configs split them per system.  ``kind`` may be any *registered*
-        system kind -- including ones added by plugins such as
-        ``"skywalker-hybrid"`` -- not just the seed :data:`SYSTEM_KINDS`.
-    """
-
-    kind: str
-    label: Optional[str] = None
-    #: Pushing policy for SkyWalker variants: "BP", "SP-O" or "SP-P".
-    pushing: str = "SP-P"
-    sp_o_threshold: int = 24
-    probe_interval_s: float = 0.1
-    prefix_match_threshold: float = 0.5
-    trie_max_tokens: int = 2_000_000
-    #: Consistent-hashing key: "user" (user id) or "session" (session id).
-    hash_key: str = "user"
-    #: Region hosting the single balancer of centralized baselines.
-    central_region: str = "us"
-    #: Optional routing constraint: None, "gdpr" or "continent".
-    constraint: Optional[str] = None
-    #: Gateway spill threshold (GKE baseline only).
-    gateway_spill_threshold: float = 16.0
-
-    def __post_init__(self) -> None:
-        warnings.warn(
-            "SystemConfig(kind=...) is deprecated; use the registered typed "
-            "configs (SkyWalkerConfig, GatewayConfig, CentralizedConfig, ...) "
-            "or REGISTRY.spec(kind, **overrides) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if self.kind not in REGISTRY:
-            raise ValueError(
-                f"unknown system kind {self.kind!r}; expected one of {REGISTRY.names()}"
-            )
-        if self.hash_key not in ("user", "session"):
-            raise ValueError("hash_key must be 'user' or 'session'")
-
-    @property
-    def name(self) -> str:
-        return self.label or self.kind
-
-    def resolve(self) -> SystemSpec:
-        """The registered typed spec equivalent to this legacy config."""
-        return REGISTRY.spec_from_legacy(self)
-
-
-@dataclass(frozen=True)
 class ClusterConfig:
     """Replica fleet description."""
 
@@ -133,6 +70,10 @@ class ClusterConfig:
     )
     profile: ModelProfile = LLAMA_8B_L4
     enable_prefix_cache: bool = True
+    #: Optional tiered/paged KV memory model applied to every replica (and,
+    #: via its ``push_*`` knobs, to the balancers' dispatch path).  ``None``
+    #: keeps the flat legacy model and is bit-identical to it.
+    memory: Optional[MemoryConfig] = None
     record_utilization: bool = False
 
     @property
@@ -186,14 +127,13 @@ class WorkloadSpec:
 class ExperimentConfig:
     """A complete end-to-end run description.
 
-    ``system`` accepts either a registry-typed spec (preferred) or the
-    legacy :class:`SystemConfig` shim.  ``faults`` optionally injects a
+    ``system`` is a registry-typed spec.  ``faults`` optionally injects a
     deterministic :class:`~repro.faults.FaultSchedule` (or the name of a
     registered schedule) into the run; ``None`` -- or an empty schedule --
     leaves the simulation bit-identical to a fault-free run.
     """
 
-    system: Union[SystemConfig, SystemSpec]
+    system: SystemSpec
     cluster: ClusterConfig
     duration_s: float = 120.0
     seed: int = 0

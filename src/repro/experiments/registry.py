@@ -19,10 +19,9 @@ with the global :data:`REGISTRY`:
         ctx.attach(balancer)      # add replicas, start, register with DNS
         return [balancer]
 
-After registration the system is a first-class citizen everywhere: the
-legacy ``SystemConfig(kind="my-system")`` shim accepts it, ``run_experiment``
-builds it, and ``run_sweep`` sweeps it -- with **no** edits to the runner or
-to any central kind enum.
+After registration the system is a first-class citizen everywhere:
+``run_experiment`` builds it and ``run_sweep`` sweeps it -- with **no**
+edits to the runner or to any central kind enum.
 
 The :class:`BuildContext` hands builders everything they may need (the
 simulation environment, network, deployment, frontend, client regions, the
@@ -33,13 +32,11 @@ meshes (:func:`build_regional_mesh`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import (
     Callable,
-    ClassVar,
     Dict,
     List,
-    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -78,10 +75,6 @@ class SystemSpec:
     left ``None`` the workload's natural identity key is used.
     """
 
-    #: Maps typed field name -> legacy ``SystemConfig`` attribute, for specs
-    #: whose field names differ from the historical grab-bag config.
-    _legacy_aliases: ClassVar[Mapping[str, str]] = {}
-
     kind: str = ""
     label: Optional[str] = None
     #: Consistent-hashing key: "user", "session", or None (= workload's).
@@ -95,26 +88,6 @@ class SystemSpec:
     def name(self) -> str:
         """Display name used in metrics rows."""
         return self.label or self.kind
-
-    @classmethod
-    def from_legacy(cls, legacy: object, kind: str) -> "SystemSpec":
-        """Build a typed spec from a legacy ``SystemConfig``-style object by
-        matching field names (honouring ``_legacy_aliases``).
-
-        ``hash_key`` is deliberately left ``None``: under the legacy
-        precedence the workload's natural key always won over the config's
-        (``SystemConfig.hash_key`` defaults to ``"user"`` and cannot signal
-        "explicitly set"), so copying it would turn the never-effective
-        legacy default into an explicit typed override and change routing.
-        """
-        kwargs = {}
-        for spec_field in fields(cls):
-            if spec_field.name in ("kind", "hash_key"):
-                continue
-            source = cls._legacy_aliases.get(spec_field.name, spec_field.name)
-            if hasattr(legacy, source):
-                kwargs[spec_field.name] = getattr(legacy, source)
-        return cls(kind=kind, **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -131,6 +104,11 @@ class BuildContext:
     client_regions: Tuple[str, ...] = ()
     #: The resolved consistent-hashing key for this run ("user"/"session").
     hash_key: str = "user"
+    #: Optional :class:`~repro.mem.TransferModel` for pushed KV prefixes
+    #: (from ``ClusterConfig.memory.push_*``); installed on every balancer
+    #: the context attaches so BP/SP-O/SP-P dispatches pay size-dependent
+    #: transfer costs.  ``None`` keeps pushes free, as before.
+    push_transfer: Optional[object] = None
 
     @property
     def topology(self) -> NetworkTopology:
@@ -168,6 +146,8 @@ class BuildContext:
             replicas = [r for region in regions for r in self.deployment.replicas_in(region)]
         for replica in replicas:
             balancer.add_replica(replica)
+        if self.push_transfer is not None:
+            balancer.push_transfer = self.push_transfer
         balancer.start()
         self.frontend.register_balancer(balancer)
         return balancer
@@ -191,6 +171,8 @@ def build_regional_mesh(
     for balancer in balancers:
         for replica in ctx.deployment.replicas_in(balancer.region):
             balancer.add_replica(replica)
+        if ctx.push_transfer is not None:
+            balancer.push_transfer = ctx.push_transfer
     if wire_peers:
         for balancer in balancers:
             add_peer = getattr(balancer, "add_peer", None)
@@ -270,11 +252,6 @@ class SystemRegistry:
         """A default-configured typed spec for a registered kind."""
         entry = self.get(kind)
         return entry.config_cls(kind=kind, **overrides)
-
-    def spec_from_legacy(self, legacy: object) -> SystemSpec:
-        """Convert a legacy ``SystemConfig`` into the registered typed spec."""
-        entry = self.get(getattr(legacy, "kind"))
-        return entry.config_cls.from_legacy(legacy, kind=entry.name)
 
     # -- building -------------------------------------------------------
     def build(self, spec: SystemSpec, ctx: BuildContext) -> List[Balancer]:

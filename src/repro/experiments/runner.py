@@ -7,16 +7,15 @@ examples, the test-suite's integration tests and every Fig. 8/9/10 bench.
 
 System construction is dispatched through the pluggable system registry
 (:mod:`repro.experiments.registry`): the ``system`` field of an
-:class:`ExperimentConfig` may be a registered typed spec
-(:class:`~repro.experiments.registry.SystemSpec`) or the legacy
-:class:`SystemConfig` shim, which resolves to one.  ``run_sweep`` sweeps a
+:class:`ExperimentConfig` is a registered typed spec
+(:class:`~repro.experiments.registry.SystemSpec`).  ``run_sweep`` sweeps a
 list of system variants over workloads, building each workload once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 from ..cluster import ClosedLoopClient, Deployment, Frontend, ReplicaSpec, RequestTracker
 from ..core.interface import Balancer
@@ -27,6 +26,7 @@ from ..metrics import (
     Statistic,
     SweepReport,
     aggregate_cell,
+    collect_memory_metrics,
     collect_run_metrics,
     paired_difference,
 )
@@ -34,12 +34,14 @@ from ..network import Network, default_topology
 from ..sim import Environment
 from ..workloads.program import Program
 from ..workloads.request import Request
-from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
 from .registry import REGISTRY, BuildContext, SystemSpec
 
 __all__ = ["ExperimentResult", "SweepResult", "run_experiment", "run_sweep", "build_system"]
 
-SystemLike = Union[SystemConfig, SystemSpec]
+#: Historical alias from the era of the (now removed) ``SystemConfig`` shim;
+#: systems are always registry-typed specs today.
+SystemLike = SystemSpec
 
 
 @dataclass
@@ -66,21 +68,17 @@ class ExperimentResult:
         return self.injector.controller if self.injector is not None else None
 
 
-def _resolve_system(system: SystemLike, workload_hash_key: Optional[str]) -> tuple:
+def _resolve_system(system: SystemSpec, workload_hash_key: Optional[str]) -> tuple:
     """Normalise to (typed spec, resolved hash key).
 
-    The legacy shim keeps its historical precedence (the workload's natural
-    key wins); typed specs are explicit, so their ``hash_key`` -- when set --
-    overrides the workload's.
+    Typed specs are explicit, so their ``hash_key`` -- when set -- overrides
+    the workload's natural key.
     """
-    if isinstance(system, SystemConfig):
-        spec = system.resolve()
-        return spec, (workload_hash_key or system.hash_key or "user")
     return system, (system.hash_key or workload_hash_key or "user")
 
 
 def build_system(
-    system: SystemLike,
+    system: SystemSpec,
     env: Environment,
     network: Network,
     deployment: Deployment,
@@ -88,6 +86,7 @@ def build_system(
     *,
     client_regions: Sequence[str] = (),
     hash_key: Optional[str] = None,
+    push_transfer=None,
 ) -> List[Balancer]:
     """Instantiate the requested load-balancing system via the registry and
     register it with the frontend.  Returns the created balancer objects."""
@@ -99,6 +98,7 @@ def build_system(
         frontend=frontend,
         client_regions=tuple(client_regions),
         hash_key=resolved_key,
+        push_transfer=push_transfer,
     )
     return REGISTRY.build(spec, ctx)
 
@@ -121,18 +121,24 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         for region, count in config.cluster.replicas_per_region.items()
         if count > 0
     ]
+    memory = config.cluster.memory
     deployment = Deployment(
         env,
         specs,
         topology=topology,
         network=network,
         enable_prefix_cache=config.cluster.enable_prefix_cache,
+        memory=memory,
         record_utilization=config.cluster.record_utilization,
     )
 
     tracker = RequestTracker(env)
     for replica in deployment.replicas:
         replica.add_completion_listener(tracker.complete)
+
+    push_transfer = None
+    if memory is not None:
+        push_transfer = memory.push_transfer(config.cluster.profile.kv_bytes_per_token)
 
     frontend = Frontend(env, network)
     balancers = build_system(
@@ -143,6 +149,7 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         frontend,
         client_regions=list(workload.clients_per_region),
         hash_key=workload.hash_key,
+        push_transfer=push_transfer,
     )
 
     # Fault injection: only a non-empty schedule creates any machinery at
@@ -196,6 +203,8 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         metrics.resilience = injector.resilience_metrics(
             tracker.completed, duration_s=config.duration_s
         )
+    if memory is not None and memory.telemetry_enabled:
+        metrics.memory = collect_memory_metrics(deployment, balancers)
     return ExperimentResult(
         metrics=metrics,
         deployment=deployment,
@@ -337,6 +346,39 @@ class SweepResult:
     def to_json(self, indent: int = 2) -> str:
         """JSON document of the aggregate statistics (see :class:`SweepReport`)."""
         return self.report().to_json(indent=indent)
+
+    # -- rendering (see repro.experiments.plotting) --------------------
+    def plot_table(self, metric: str = "throughput_tokens_per_s") -> str:
+        """Workload x system text grid of one (dotted-path) metric."""
+        from .plotting import render_table
+
+        return render_table(self, metric)
+
+    def plot_bars(
+        self,
+        metric: str = "throughput_tokens_per_s",
+        *,
+        workload: Optional[str] = None,
+        width: int = 40,
+    ) -> str:
+        """ASCII bar chart of one metric (all workloads, or one)."""
+        from .plotting import render_bars
+
+        return render_bars(self, metric, workload=workload, width=width)
+
+    def plot_csv(self, metrics: Optional[Sequence[str]] = None) -> str:
+        """CSV rows of every cell (one row per seed in multi-seed sweeps)."""
+        from .plotting import DEFAULT_CSV_METRICS, render_csv
+
+        return render_csv(self, metrics if metrics is not None else DEFAULT_CSV_METRICS)
+
+    def plot_figure(
+        self, metric: str = "throughput_tokens_per_s", *, path: Optional[str] = None
+    ):
+        """Matplotlib grouped-bar figure (raises if matplotlib is absent)."""
+        from .plotting import render_figure
+
+        return render_figure(self, metric, path=path)
 
     def format_report(self) -> str:
         """Per-run rows (base seed first), plus an aggregate table when the

@@ -25,8 +25,12 @@ worker when the system is built (:func:`repro.core.pushing.make_pushing_policy`,
 and policies registered via the ``@register_*`` decorators work unchanged:
 the executor explicitly uses the ``fork`` start method wherever the
 platform offers it, so the workers inherit the parent's registries as-is.
-On spawn-only platforms (Windows) registrations must instead happen at
-import time of a module the task references.
+On spawn/forkserver platforms each worker instead runs a bootstrap
+initializer that re-imports every module that registered a factory in the
+parent (systems, pushing/selection/constraint policies, fault schedules,
+offload/admission policies), re-populating the registries there.  The one
+remaining caveat is plugins defined in ``__main__`` (a script body or
+REPL): those cannot be re-imported and need fork, or a real module.
 
 Executors also expose a generic :meth:`SweepExecutor.map` for benchmark
 drivers whose cells need post-processing beyond :class:`RunMetrics`
@@ -36,15 +40,16 @@ worker) -- any picklable module-level function works.
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..faults import FaultsLike
 from ..metrics import RunMetrics
-from .config import ClusterConfig, ExperimentConfig, SystemConfig, WorkloadSpec
+from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
 from .registry import SystemSpec
 from .runner import SweepResult, run_experiment
 
@@ -54,9 +59,11 @@ __all__ = [
     "run_sweep_task",
     "normalise_seeds",
     "check_unique_system_names",
+    "plugin_modules",
 ]
 
-SystemLike = Union[SystemConfig, SystemSpec]
+#: Historical alias from the era of the (now removed) ``SystemConfig`` shim.
+SystemLike = SystemSpec
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
@@ -65,10 +72,9 @@ _Result = TypeVar("_Result")
 class SweepTask:
     """One (workload, system) cell of a sweep, fully described as data.
 
-    Everything here is picklable: the system is a typed spec (or the legacy
-    shim) carrying only names and scalars, and the workload is plain
-    programs/requests.  A worker process needs nothing else to reproduce the
-    cell exactly.
+    Everything here is picklable: the system is a typed spec carrying only
+    names and scalars, and the workload is plain programs/requests.  A
+    worker process needs nothing else to reproduce the cell exactly.
     """
 
     system: SystemLike
@@ -110,6 +116,58 @@ def run_sweep_task(task: SweepTask) -> RunMetrics:
     metrics.wall_clock_s = time.perf_counter() - start
     metrics.seed = task.seed
     return metrics
+
+
+def plugin_modules() -> Tuple[str, ...]:
+    """Defining modules of every factory currently registered, sorted.
+
+    This is the spawn-mode worker bootstrap's shopping list: a spawned (or
+    forkserver) worker starts from a fresh interpreter whose registries
+    hold only the built-ins, so the executor re-imports these modules there
+    and the plugins re-register themselves exactly as they did in the
+    parent.  Forked workers inherit the registries and skip all of this.
+
+    ``__main__`` registrations are skipped -- a script body cannot be
+    re-imported by name (importing it would re-run the script); plugins
+    that must survive spawn need to live in a real module.
+    """
+    from ..core.policies import _CONSTRAINTS
+    from ..core.pushing import _PUSHING_POLICIES
+    from ..core.selection import _SELECTION_POLICIES
+    from ..faults.schedule import _SCHEDULES
+    from ..faults.spec import _FAULTS
+    from ..mem.policies import admission_policy_factories, offload_policy_factories
+    from .registry import REGISTRY
+
+    factories: List[object] = []
+    for registry in (_PUSHING_POLICIES, _SELECTION_POLICIES, _CONSTRAINTS, _SCHEDULES):
+        factories.extend(registry._factories.values())
+    factories.extend(offload_policy_factories())
+    factories.extend(admission_policy_factories())
+    for name in REGISTRY.names():
+        entry = REGISTRY.get(name)
+        factories.append(entry.builder)
+        factories.append(entry.config_cls)
+    for name in _FAULTS.names():
+        entry = _FAULTS.get(name)
+        factories.append(entry.applier)
+        factories.append(entry.spec_cls)
+    modules = {getattr(factory, "__module__", None) for factory in factories}
+    modules.discard(None)
+    modules.discard("__main__")
+    return tuple(sorted(modules))
+
+
+def _bootstrap_worker(modules: Tuple[str, ...]) -> None:
+    """Worker-process initializer: re-import the plugin-defining modules.
+
+    Runs once per spawned worker, before any task.  Import errors propagate
+    (the pool surfaces them as a ``BrokenProcessPool``): a module that was
+    importable in the parent but is not in a worker is a real environment
+    problem, not something to paper over with a silently missing plugin.
+    """
+    for name in modules:
+        importlib.import_module(name)
 
 
 def check_unique_system_names(systems: Sequence[SystemLike]) -> None:
@@ -192,8 +250,14 @@ class SweepExecutor:
                 context = multiprocessing.get_context("fork")
             else:
                 context = multiprocessing.get_context()
+        pool_kwargs = {}
+        if context.get_start_method() != "fork":
+            # Spawned workers start from empty registries; hand each one
+            # the modules whose import re-registers the parent's plugins.
+            pool_kwargs["initializer"] = _bootstrap_worker
+            pool_kwargs["initargs"] = (plugin_modules(),)
         with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(tasks)), mp_context=context
+            max_workers=min(self.workers, len(tasks)), mp_context=context, **pool_kwargs
         ) as pool:
             return list(pool.map(fn, tasks))
 

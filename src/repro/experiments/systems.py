@@ -10,7 +10,7 @@ example).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, List, Mapping, Optional
+from typing import List, Optional
 
 from ..balancers import (
     ConsistentHashBalancer,
@@ -82,10 +82,6 @@ for _kind, _cls in _CENTRALIZED_CLASSES.items():
 @dataclass(frozen=True)
 class GatewayConfig(SystemSpec):
     """Per-region gateways with coarse spill-over (GKE Gateway baseline)."""
-
-    _legacy_aliases: ClassVar[Mapping[str, str]] = {
-        "spill_threshold": "gateway_spill_threshold"
-    }
 
     kind: str = "gke-gateway"
     #: Average outstanding per local replica above which traffic spills.

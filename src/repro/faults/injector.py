@@ -348,7 +348,7 @@ def _apply_replica_crash(spec: ReplicaCrash, ctx: FaultContext, record: FaultRec
 
         def recover_later():
             yield ctx.env.timeout(spec.duration_s)
-            replica.recover()
+            replica.recover(preserve_disk=spec.preserve_disk)
             ctx.injector.resolve(record)
 
         ctx.env.process(recover_later())
@@ -365,7 +365,7 @@ def _apply_replica_recover(
     replica = ctx.replica(spec.region, spec.index)
     record.target = replica.name
     record.opens_window = False
-    replica.recover()
+    replica.recover(preserve_disk=spec.preserve_disk)
     ctx.injector.resolve_target(replica.name, kind="replica-crash")
 
 

@@ -101,6 +101,11 @@ class ReplicaCrash(FaultSpec):
     #: Auto-recover after this many seconds (``None`` = stays down until an
     #: explicit ``replica-recover`` event, or forever).
     duration_s: Optional[float] = None
+    #: On (timed) recovery, re-seed the replica's disk KV tier from its
+    #: pre-crash contents: a crash loses HBM and host RAM, but durable
+    #: storage survives a process restart.  Only meaningful when the run
+    #: uses a :class:`~repro.mem.MemoryConfig` with a disk tier.
+    preserve_disk: bool = False
 
 
 @dataclass(frozen=True)
@@ -110,6 +115,8 @@ class ReplicaRecover(FaultSpec):
     kind: str = "replica-recover"
     region: str = "us"
     index: int = 0
+    #: See :attr:`ReplicaCrash.preserve_disk`.
+    preserve_disk: bool = False
 
 
 @dataclass(frozen=True)

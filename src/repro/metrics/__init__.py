@@ -13,6 +13,7 @@ from .aggregate import (
     student_t_critical,
 )
 from .collector import RunMetrics, collect_run_metrics
+from .memory import MemoryMetrics, TierUsage, collect_memory_metrics
 from .resilience import ResilienceMetrics, collect_resilience_metrics
 from .summary import LatencySummary, percentile
 
@@ -23,6 +24,9 @@ __all__ = [
     "collect_run_metrics",
     "ResilienceMetrics",
     "collect_resilience_metrics",
+    "MemoryMetrics",
+    "TierUsage",
+    "collect_memory_metrics",
     "AGGREGATED_METRICS",
     "AggregateMetrics",
     "Statistic",

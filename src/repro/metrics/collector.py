@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cluster.deployment import Deployment
 from ..workloads.request import Request
+from .memory import MemoryMetrics
 from .resilience import ResilienceMetrics
 from .summary import LatencySummary
 
@@ -77,6 +78,13 @@ class RunMetrics:
     #: serial-vs-parallel identity checks.
     resilience: Optional[ResilienceMetrics] = None
 
+    #: Tiered KV-memory telemetry (per-tier hit rates, promotion/demotion
+    #: bytes, page occupancy, transfer stalls); set by the experiment runner
+    #: only when the run used a telemetry-enabled
+    #: :class:`~repro.mem.MemoryConfig`.  Included in :meth:`to_dict` only
+    #: when present, for the same bit-identity reason as ``resilience``.
+    memory: Optional[MemoryMetrics] = None
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -100,6 +108,8 @@ class RunMetrics:
         }
         if self.resilience is not None:
             payload["resilience"] = self.resilience.to_dict()
+        if self.memory is not None:
+            payload["memory"] = self.memory.to_dict()
         return payload
 
     def format_row(self) -> str:

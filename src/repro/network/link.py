@@ -107,18 +107,24 @@ class Network:
         return self.sample_one_way(src, dst) + self.sample_one_way(dst, src)
 
     # ------------------------------------------------------------------
-    def deliver(self, item: Any, src: str, dst: str, inbox: Store) -> None:
+    def deliver(
+        self, item: Any, src: str, dst: str, inbox: Store, *, extra_delay: float = 0.0
+    ) -> None:
         """Asynchronously place ``item`` into ``inbox`` after the network delay.
 
-        Messages over a partitioned link are dropped (the packet-loss view
-        of a partition): the item never arrives, even if the link heals."""
+        ``extra_delay`` is serialised on top of the sampled link delay --
+        used for payload-dependent costs such as shipping pushed KV prefixes
+        (the latency sample itself stays payload-independent so RNG draws
+        are unchanged).  Messages over a partitioned link are dropped (the
+        packet-loss view of a partition): the item never arrives, even if
+        the link heals."""
         self.messages_sent += 1
         if src != dst:
             self.cross_region_messages += 1
         if (src, dst) in self._blocked_links:
             self.dropped_messages += 1
             return
-        delay = self.sample_one_way(src, dst)
+        delay = self.sample_one_way(src, dst) + extra_delay
         self.env.process(self._deliver_later(delay, item, inbox))
 
     def _deliver_later(self, delay: float, item: Any, inbox: Store):

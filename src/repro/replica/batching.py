@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
+from ..mem import MemoryConfig
 from ..workloads.request import Request, RequestStatus
 from .memory import AdmissionGrant, KVMemoryManager
 from .model_profile import ModelProfile
@@ -61,9 +62,17 @@ class StepPlan:
 class ContinuousBatcher:
     """Admission + decode bookkeeping for a single replica."""
 
-    def __init__(self, profile: ModelProfile, *, enable_prefix_cache: bool = True) -> None:
+    def __init__(
+        self,
+        profile: ModelProfile,
+        *,
+        enable_prefix_cache: bool = True,
+        memory: Optional[MemoryConfig] = None,
+    ) -> None:
         self.profile = profile
-        self.memory = KVMemoryManager(profile, enable_prefix_cache=enable_prefix_cache)
+        self.memory = KVMemoryManager(
+            profile, enable_prefix_cache=enable_prefix_cache, memory=memory
+        )
         self.waiting: Deque[Request] = deque()
         self.running: List[RunningSequence] = []
         self._by_id: Dict[int, RunningSequence] = {}
@@ -75,6 +84,10 @@ class ContinuousBatcher:
         self.total_generated_tokens = 0
         self.total_preemptions = 0
         self.total_preempted_tokens = 0
+        #: Tokens served out of offload tiers (skip prefill, stall instead)
+        #: and the summed promotion stalls -- zero on the legacy path.
+        self.total_promoted_tokens = 0
+        self.total_promotion_stall_s = 0.0
         #: Requests whose first admission has already been counted in the
         #: prompt/cached token statistics (re-admissions after preemption
         #: must not inflate the cache hit rate).
@@ -147,6 +160,8 @@ class ContinuousBatcher:
                 self.total_admitted += 1
                 self.total_prompt_tokens += request.prompt_len
                 self.total_cached_tokens += grant.cached_tokens
+                self.total_promoted_tokens += grant.promoted_tokens
+            self.total_promotion_stall_s += grant.promotion_stall_s
         return admitted
 
     # ------------------------------------------------------------------
@@ -178,10 +193,16 @@ class ContinuousBatcher:
         self.preempt_if_needed(now)
         admitted = self.admit(now)
         if admitted:
-            new_tokens = sum(seq.new_prompt_tokens for seq in admitted)
+            # Tier-promoted tokens skip prefill compute like cached ones;
+            # what they cost instead is the promotion stall (transfer-engine
+            # queueing + copy time), serialised into this prefill step.
+            new_tokens = sum(
+                seq.new_prompt_tokens - seq.grant.promoted_tokens for seq in admitted
+            )
+            stall = sum(seq.grant.promotion_stall_s for seq in admitted)
             return StepPlan(
                 kind="prefill",
-                duration=self.profile.prefill_time(new_tokens),
+                duration=self.profile.prefill_time(new_tokens) + stall,
                 admitted=admitted,
             )
         if self.running:

@@ -46,7 +46,7 @@ class RadixNode:
     root has an empty key and no parent.
     """
 
-    __slots__ = ("key", "parent", "children", "last_access", "lock_count")
+    __slots__ = ("key", "parent", "children", "last_access", "lock_count", "hit_count")
 
     def __init__(
         self,
@@ -58,6 +58,10 @@ class RadixNode:
         self.children: Dict[int, "RadixNode"] = {}
         self.last_access = 0.0
         self.lock_count = 0
+        #: Lifetime number of recorded prefix matches covering this edge;
+        #: offload policies use it as the segment's "heat" when the node is
+        #: eventually evicted (see ``pin-hot-prefixes``).
+        self.hit_count = 0
 
     # ------------------------------------------------------------------
     @property
@@ -127,6 +131,12 @@ class RadixCache:
         #: node)``; see the module docstring.
         self._leaf_heap: List[Tuple[float, int, RadixNode]] = []
         self._entry_ids = itertools.count()
+        #: Optional demotion hook ``(tokens, hits, last_access, now)`` called
+        #: for every pressure-eviction victim *before* it is removed -- the
+        #: tiered KV store registers itself here so victims spill to lower
+        #: tiers instead of vanishing.  ``None`` (default) keeps the legacy
+        #: drop-on-evict behaviour, with zero extra work on the hot path.
+        self.on_evict = None
 
     # ------------------------------------------------------------------
     @property
@@ -217,6 +227,8 @@ class RadixCache:
             matched += overlap
             idx += overlap
             child.last_access = now
+            if record:
+                child.hit_count += 1
             self._note_leaf(child)
             if overlap == len(key):
                 nodes.append(child)
@@ -296,8 +308,10 @@ class RadixCache:
         assert parent is not None
         upper = RadixNode(key=node.key[:offset], parent=parent)
         upper.last_access = node.last_access
-        # The lower half's lock holders all cover the upper half too.
+        # The lower half's lock holders all cover the upper half too, and
+        # every hit on the old edge covered (at least) its upper half.
         upper.lock_count = node.lock_count
+        upper.hit_count = node.hit_count
         parent.children[upper.key[0]] = upper
         node.key = node.key[offset:]
         node.parent = upper
@@ -352,6 +366,10 @@ class RadixCache:
             victim = self._pop_lru_leaf()
             if victim is None:
                 break
+            if self.on_evict is not None:
+                self.on_evict(
+                    victim.path_tokens(), victim.hit_count, victim.last_access, now
+                )
             evicted += self._remove_leaf(victim)
         return evicted
 
@@ -428,8 +446,16 @@ class RadixCache:
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
-        """Drop every unlocked entry (used by failure-recovery tests)."""
-        self.evict(self._total_tokens)
+        """Drop every unlocked entry (used by failure-recovery tests).
+
+        A clear models *loss* (crash, reset), not memory pressure, so the
+        demotion hook is bypassed: cleared entries never spill to tiers.
+        """
+        hook, self.on_evict = self.on_evict, None
+        try:
+            self.evict(self._total_tokens)
+        finally:
+            self.on_evict = hook
 
     def _iter_nodes(self) -> Iterable[RadixNode]:
         stack = [self.root]

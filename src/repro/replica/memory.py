@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from ..mem import DEFAULT_MEMORY_CONFIG, MemoryConfig
 from .kv_cache import RadixCache, RadixNode
 from .model_profile import ModelProfile
 
@@ -35,16 +36,42 @@ class AdmissionGrant:
     new_prompt_tokens: int
     locked_node: Optional[RadixNode]
     output_tokens: int = 0
+    #: Tokens served from an offload tier (they skip prefill compute like
+    #: cached tokens, but the promotion copy stalls the prefill instead).
+    promoted_tokens: int = 0
+    #: Transfer-engine stall the promotion adds to this request's prefill.
+    promotion_stall_s: float = 0.0
 
 
 class KVMemoryManager:
-    """Token-granularity KV memory accounting for one replica."""
+    """Token-granularity KV memory accounting for one replica.
 
-    def __init__(self, profile: ModelProfile, enable_prefix_cache: bool = True) -> None:
+    With a non-default :class:`~repro.mem.MemoryConfig` the flat budget
+    becomes the page-rounded HBM tier of a :class:`~repro.mem.TieredKVStore`:
+    pressure-eviction victims demote through the configured offload policy
+    instead of vanishing, and admissions that extend their HBM prefix match
+    on a lower tier pay that tier's promotion delay before prefill.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        enable_prefix_cache: bool = True,
+        memory: Optional[MemoryConfig] = None,
+    ) -> None:
         self.profile = profile
-        self.capacity_tokens = profile.kv_capacity_tokens
+        self.memory = memory if memory is not None else DEFAULT_MEMORY_CONFIG
+        self.capacity_tokens = self.memory.hbm_capacity_tokens(profile.kv_capacity_tokens)
         self.enable_prefix_cache = enable_prefix_cache
         self.cache = RadixCache(capacity_tokens=self.capacity_tokens)
+        #: Offload tiers under HBM; ``None`` on the (default) legacy path.
+        self.tiers = self.memory.build_store(profile.kv_bytes_per_token)
+        if (
+            self.tiers is not None
+            and enable_prefix_cache
+            and not self.tiers.offload_policy.inert
+        ):
+            self.cache.on_evict = self.tiers.demote
         #: Output tokens held by running requests, outside the radix tree.
         self._grants: Dict[int, AdmissionGrant] = {}
         #: Prompt tokens of running requests that could not be inserted into
@@ -154,11 +181,25 @@ class KVMemoryManager:
         if match.last_node is not None:
             self.cache.unlock(match.last_node)
 
+        # A lower tier may extend the HBM prefix match: those tokens skip
+        # prefill compute but the promotion copy stalls this prefill.  The
+        # lookup runs after the insert so eviction-triggered demotions of
+        # this very admit cannot invalidate the chosen segment.
+        promoted = 0
+        stall = 0.0
+        if self.tiers is not None:
+            found = self.tiers.lookup(tuple(prompt_tokens), cached)
+            if found is not None:
+                promoted, stall = self.tiers.promote(found, cached, now)
+                promoted = min(promoted, new_prompt)
+
         grant = AdmissionGrant(
             request_id=request_id,
             cached_tokens=cached,
             new_prompt_tokens=new_prompt,
             locked_node=full_match.last_node,
+            promoted_tokens=promoted,
+            promotion_stall_s=stall,
         )
         self._grants[request_id] = grant
         self._prompt_tokens_total += cached + new_prompt
@@ -217,6 +258,8 @@ class KVMemoryManager:
     def check_invariants(self) -> None:
         """Structural sanity checks used by the property-based tests."""
         self.cache.check_invariants()
+        if self.tiers is not None:
+            self.tiers.check_invariants()
         if self.used_tokens > self.capacity_tokens:
             raise AssertionError("KV memory over capacity")
         if self.output_tokens_in_use < 0:

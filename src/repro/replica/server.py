@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from ..mem import MemoryConfig
 from ..sim import Environment, Interrupt, Store
 from ..workloads.request import Request, RequestStatus
 from .batching import ContinuousBatcher
@@ -58,6 +59,9 @@ class ReplicaServer:
         configuration.
     enable_prefix_cache:
         Disable to model a replica without RadixAttention-style caching.
+    memory:
+        Optional :class:`~repro.mem.MemoryConfig` turning the flat KV budget
+        into a paged, tiered hierarchy; ``None`` keeps the legacy model.
     record_utilization:
         When set, the replica appends ``(time, kv_utilization)`` samples after
         every step; used to reproduce the paper's Fig. 4b.
@@ -71,13 +75,17 @@ class ReplicaServer:
         profile: ModelProfile = LLAMA_8B_L4,
         *,
         enable_prefix_cache: bool = True,
+        memory: Optional[MemoryConfig] = None,
         record_utilization: bool = False,
     ) -> None:
         self.env = env
         self.name = name
         self.region = region
         self.profile = profile
-        self.batcher = ContinuousBatcher(profile, enable_prefix_cache=enable_prefix_cache)
+        self.memory_config = memory
+        self.batcher = ContinuousBatcher(
+            profile, enable_prefix_cache=enable_prefix_cache, memory=memory
+        )
         self.inbox: Store = Store(env)
         self.stats = ReplicaStats()
         self.record_utilization = record_utilization
@@ -137,15 +145,27 @@ class ReplicaServer:
         self._emit_health_change()
         return aborted
 
-    def recover(self) -> None:
-        """Bring a failed replica back with a cold cache."""
+    def recover(self, *, preserve_disk: bool = False) -> None:
+        """Bring a failed replica back with a cold cache.
+
+        HBM (and host RAM) contents never survive a crash, but with
+        ``preserve_disk`` the disk tier's segments carry over into the fresh
+        batcher -- modelling durable KV offload that a restarted engine can
+        re-attach (only meaningful with a tiered :class:`MemoryConfig`).
+        """
         if self.healthy:
             return
         self.healthy = True
+        old_tiers = self.batcher.memory.tiers
         self.batcher = ContinuousBatcher(
             self.profile,
             enable_prefix_cache=self.batcher.memory.enable_prefix_cache,
+            memory=self.memory_config,
         )
+        if preserve_disk and old_tiers is not None:
+            new_tiers = self.batcher.memory.tiers
+            if new_tiers is not None:
+                new_tiers.restore_tier("disk", old_tiers.export_tier("disk"), self.env.now)
         # A fresh inbox: the crashed serving loop may have left an orphaned
         # get() registered on the old store, which would silently swallow the
         # first request delivered after recovery.

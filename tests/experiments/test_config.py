@@ -7,7 +7,7 @@ from repro.experiments import (
     BASELINE_SYSTEMS,
     SYSTEM_KINDS,
     ClusterConfig,
-    SystemConfig,
+    SkyWalkerConfig,
     WorkloadSpec,
 )
 from repro.workloads import Program
@@ -22,29 +22,14 @@ def test_system_kind_catalogue_is_consistent():
     assert "region-local" not in ALL_SYSTEMS  # only used by the Fig. 10 sweep
 
 
-# ----------------------------------------------------------------------
-# the deprecated SystemConfig shim (these are the shim's own deprecation
-# tests; new code uses the registered typed configs / REGISTRY.spec)
-# ----------------------------------------------------------------------
-def test_shim_construction_emits_deprecation_warning():
-    with pytest.warns(DeprecationWarning, match="SystemConfig"):
-        SystemConfig(kind="skywalker")
-
-
-def test_unknown_system_kind_rejected():
-    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
-        SystemConfig(kind="quantum-balancer")
-
-
 def test_invalid_hash_key_rejected():
-    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
-        SystemConfig(kind="skywalker", hash_key="ip-address")
+    with pytest.raises(ValueError):
+        SkyWalkerConfig(kind="skywalker", hash_key="ip-address")
 
 
 def test_system_name_defaults_to_kind_but_label_wins():
-    with pytest.warns(DeprecationWarning):
-        assert SystemConfig(kind="skywalker").name == "skywalker"
-        assert SystemConfig(kind="skywalker", label="SP-P").name == "SP-P"
+    assert SkyWalkerConfig(kind="skywalker").name == "skywalker"
+    assert SkyWalkerConfig(kind="skywalker", label="SP-P").name == "SP-P"
 
 
 def test_cluster_config_counts_replicas():

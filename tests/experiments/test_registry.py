@@ -13,7 +13,6 @@ from repro.experiments import (
     ExperimentConfig,
     SkyWalkerConfig,
     SkyWalkerHybridConfig,
-    SystemConfig,
     SystemSpec,
     build_arena_workload,
     build_system,
@@ -70,53 +69,19 @@ def test_hybrid_plugin_is_registered_without_runner_edits():
     assert "skywalker-hybrid" in REGISTRY
 
 
-def test_unknown_kind_raises_from_registry_and_shim():
+def test_unknown_kind_raises_from_registry():
     with pytest.raises(ValueError):
         REGISTRY.get("quantum-balancer")
-    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
-        SystemConfig(kind="quantum-balancer")
 
 
-# ----------------------------------------------------------------------
-# legacy shim resolution (the shim's own deprecation tests -- the only
-# remaining SystemConfig construction sites in the suite)
-# ----------------------------------------------------------------------
-def legacy_config(**kwargs):
-    """Construct the deprecated shim, asserting the deprecation warning."""
-    with pytest.warns(DeprecationWarning, match="SystemConfig"):
-        return SystemConfig(**kwargs)
-
-
-def test_legacy_config_resolves_to_typed_spec():
-    legacy = legacy_config(kind="skywalker", pushing="SP-O", sp_o_threshold=7,
-                           prefix_match_threshold=0.9, constraint="gdpr")
-    spec = legacy.resolve()
+def test_registry_spec_builds_typed_configs_with_overrides():
+    spec = REGISTRY.spec("skywalker", pushing="SP-O", sp_o_threshold=7)
     assert isinstance(spec, SkyWalkerConfig)
     assert spec.kind == "skywalker"
     assert spec.pushing == "SP-O"
     assert spec.sp_o_threshold == 7
-    assert spec.prefix_match_threshold == pytest.approx(0.9)
-    assert spec.constraint == "gdpr"
-
-
-def test_legacy_gateway_spill_threshold_aliases():
-    spec = legacy_config(kind="gke-gateway", gateway_spill_threshold=3.5).resolve()
-    assert spec.spill_threshold == pytest.approx(3.5)
-
-
-def test_legacy_shim_accepts_plugin_kinds():
-    config = legacy_config(kind="skywalker-hybrid")
-    assert isinstance(config.resolve(), SkyWalkerHybridConfig)
-
-
-def test_resolve_keeps_legacy_hash_key_precedence():
-    # Legacy precedence: the workload's natural key always won, because the
-    # shim's hash_key default ("user") cannot signal "explicitly set".
-    # resolve() therefore must not turn that default into a typed override.
-    spec = legacy_config(kind="consistent-hash").resolve()
-    assert spec.hash_key is None
-    spec = legacy_config(kind="skywalker", hash_key="session").resolve()
-    assert spec.hash_key is None
+    hybrid = REGISTRY.spec("skywalker-hybrid")
+    assert isinstance(hybrid, SkyWalkerHybridConfig)
 
 
 # ----------------------------------------------------------------------
@@ -207,9 +172,8 @@ def test_register_system_round_trip(stack):
 
     try:
         assert "unit-test-system" in registered_system_kinds()
-        # The legacy shim accepts the new kind immediately.
-        legacy = legacy_config(kind="unit-test-system")
-        assert build(legacy, stack) == []
+        # REGISTRY.spec accepts the new kind immediately.
+        assert build(REGISTRY.spec("unit-test-system"), stack) == []
         spec, ctx = calls[0]
         assert spec.kind == "unit-test-system"
         assert isinstance(ctx, BuildContext)
