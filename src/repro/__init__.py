@@ -132,6 +132,9 @@ Sub-packages
                        injector driving §4.2 controller failover
 ``repro.experiments``  scenario builders and runners for every figure
 ``repro.perf``         hot-path microbenchmark suite (``python -m repro.perf``)
+``repro.mem``          page-aligned KV allocator and tiered offload store
+``repro.lint``         determinism & registry static analysis
+                       (``python -m repro.lint``; ``docs/DETERMINISM.md``)
 
 Resilience scenarios are declarative: every ``run_*`` entry point takes
 ``faults=`` (a ``repro.faults.FaultSchedule`` or a registered schedule

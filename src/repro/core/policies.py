@@ -137,6 +137,11 @@ def make_constraint(name: str, topology: NetworkTopology) -> RoutingConstraint:
     return _CONSTRAINTS.make(name, topology)
 
 
-register_constraint("allow-all")(lambda topology: AllowAll())
+def _make_allow_all(topology: NetworkTopology) -> AllowAll:
+    """Module-level factory so 'allow-all' pickles by reference (spawn)."""
+    return AllowAll()
+
+
+register_constraint("allow-all")(_make_allow_all)
 register_constraint("gdpr")(GDPRConstraint)
 register_constraint("continent")(SameContinentConstraint)

@@ -1,0 +1,106 @@
+"""Grandfathered-finding baseline: the shrink-only ratchet.
+
+The committed ``.repro-lint-baseline.json`` maps line-independent finding
+keys (``path::rule::message``) to occurrence counts.  CI fails on any
+finding not covered by the baseline ("new"), and the baseline unit test
+fails on any baseline entry no longer matched by a real finding ("stale"),
+so the file can only ever shrink -- fix a grandfathered finding and the
+test forces you to delete its entry.
+
+Matching is deterministic: findings sharing a key are sorted by line and
+the first ``count`` occurrences are the baselined ones; any excess is new.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "save_baseline",
+    "baseline_from_findings",
+    "split_findings",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Key -> count from a baseline file; missing file means empty."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return {}
+    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"malformed baseline file: {file_path}")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {file_path} has version {version!r}; this tool "
+            f"reads version {BASELINE_VERSION}"
+        )
+    findings = payload["findings"]
+    if not isinstance(findings, dict):
+        raise ValueError(f"malformed baseline file: {file_path}")
+    out: Dict[str, int] = {}
+    for key, count in findings.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise ValueError(f"malformed baseline entry {key!r}: {count!r}")
+        out[key] = count
+    return out
+
+
+def save_baseline(path: Union[str, Path], baseline: Dict[str, int]) -> None:
+    """Write a baseline file (sorted keys, stable formatting, no churn)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(baseline.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def baseline_from_findings(findings: Sequence[Finding]) -> Dict[str, int]:
+    """The baseline that would grandfather exactly ``findings``."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    return counts
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, baselined, stale_keys)``: findings the baseline does
+    not cover, findings it grandfathers, and baseline keys with a higher
+    count than reality (including keys matching nothing at all) -- the
+    shrink signal.
+    """
+    by_key: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_key.setdefault(finding.baseline_key, []).append(finding)
+
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for key, group in by_key.items():
+        group.sort(key=lambda f: f.sort_key)
+        allowance = baseline.get(key, 0)
+        baselined.extend(group[:allowance])
+        new.extend(group[allowance:])
+
+    stale = sorted(
+        key
+        for key, allowance in baseline.items()
+        if allowance > len(by_key.get(key, []))
+    )
+    new.sort(key=lambda f: f.sort_key)
+    baselined.sort(key=lambda f: f.sort_key)
+    return new, baselined, stale

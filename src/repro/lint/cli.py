@@ -1,0 +1,210 @@
+"""``python -m repro.lint``: the command-line front end.
+
+Exit codes: 0 clean (every finding baselined or none at all), 1 at least
+one non-baselined finding (or stale baseline entries under ``--strict``),
+2 usage/environment error (missing path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import (
+    BASELINE_VERSION,
+    baseline_from_findings,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from .engine import LintReport, lint_paths, registered_lint_rules, rule_catalog
+from .findings import Finding
+
+__all__ = ["main", "build_parser", "report_payload"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Schema version of the JSON report (independent of the baseline file).
+REPORT_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism & registry static analysis for this repository. "
+            "Lints the given files/directories and fails on any finding "
+            "not grandfathered by the baseline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline JSON of grandfathered findings (omit for none)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write a baseline grandfathering every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="FILE",
+        default=None,
+        help="additionally write the JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="directory finding paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def report_payload(
+    report: LintReport,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+) -> Dict[str, object]:
+    """The JSON report structure (stable schema, version-stamped)."""
+    baselined_keys = {id(f) for f in baselined}
+
+    def entry(finding: Finding) -> Dict[str, object]:
+        payload = finding.to_dict()
+        payload["baselined"] = id(finding) in baselined_keys
+        return payload
+
+    ordered = sorted(list(new) + list(baselined), key=lambda f: f.sort_key)
+    return {
+        "version": REPORT_VERSION,
+        "baseline_version": BASELINE_VERSION,
+        "summary": {
+            "files": report.files,
+            "findings": len(ordered),
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(report.suppressed),
+            "stale_baseline_keys": len(stale),
+            "by_rule": report.counts_by_rule,
+        },
+        "findings": [entry(finding) for finding in ordered],
+        "stale_baseline_keys": list(stale),
+        "rules": rule_catalog(),
+    }
+
+
+def _print_text(
+    report: LintReport,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+    out,
+) -> None:
+    for finding in new:
+        print(finding.format(), file=out)
+    if stale:
+        print(file=out)
+        print(
+            f"{len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} (fixed findings -- "
+            "delete them from the baseline):",
+            file=out,
+        )
+        for key in stale:
+            print(f"  {key}", file=out)
+    print(file=out)
+    print(
+        f"{report.files} files, {len(new)} new finding(s), "
+        f"{len(baselined)} baselined, {len(report.suppressed)} suppressed",
+        file=out,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = sys.stdout if out is None else out
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        catalog = rule_catalog()
+        if args.format == "json":
+            print(json.dumps(catalog, indent=2), file=out)
+        else:
+            width = max(len(name) for name in registered_lint_rules())
+            for name, meta in catalog.items():
+                print(
+                    f"{name:<{width}}  [{meta['severity']}] "
+                    f"({meta['family']}) {meta['description']}",
+                    file=out,
+                )
+        return EXIT_CLEAN
+
+    try:
+        report = lint_paths(args.paths, root=args.root)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        save_baseline(args.write_baseline, baseline_from_findings(report.findings))
+        print(
+            f"wrote baseline for {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}",
+            file=out,
+        )
+        return EXIT_CLEAN
+
+    baseline: Dict[str, int] = {}
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    new, baselined, stale = split_findings(report.findings, baseline)
+
+    payload = report_payload(report, new, baselined, stale)
+    if args.json_report:
+        Path(args.json_report).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        _print_text(report, new, baselined, stale, out)
+
+    if new or (args.strict and stale):
+        return EXIT_FINDINGS
+    return EXIT_CLEAN

@@ -1,0 +1,369 @@
+"""Determinism rules: the hazards that break bit-identical replay.
+
+Every result in this repo is defended by bit-identity tests (golden traces,
+serial ``==`` ``workers=N``, committed figure artifacts), and each rule here
+encodes one way that contract has been -- or could be -- broken silently:
+
+``unseeded-random``
+    Module-level :mod:`random` functions draw from the process-global RNG,
+    whose state depends on everything that ran before; ``random.Random()``
+    with no seed is seeded from the OS.  Simulation code must thread an
+    explicitly seeded ``random.Random(seed)``.
+``wall-clock``
+    ``time.time()`` / ``datetime.now()`` read the host clock; two runs of
+    the same seed then diverge.  ``time.perf_counter()`` is allowed -- the
+    house style uses it for wall-clock *telemetry* that is excluded from
+    result identity (``RunMetrics.wall_clock_s``).
+``unsorted-set-iteration``
+    Set iteration order follows the per-process string-hash salt.  Feeding
+    a set into an order-sensitive sink (``for``, ``list()``, ``tuple()``,
+    ``enumerate()``, ``iter()``, ``.join()``, non-set comprehensions)
+    without ``sorted()`` makes results differ across processes -- the
+    exact hazard class behind PR 2's salted workload seeds.  Order-neutral
+    consumers (``sorted``/``min``/``max``/``sum``/``len``/``any``/``all``/
+    set-to-set operations) are fine.
+``builtin-hash``
+    Builtin ``hash()`` on ``str``/``bytes`` is salted per process
+    (PYTHONHASHSEED); the house rule is ``zlib.crc32`` for stable hashing
+    (see the wildchat/skewed workload builders).
+``id-ordering``
+    ``id()`` values are allocation addresses: using them as a sort key or
+    comparing them for order is nondeterministic across runs.  Using
+    ``id()`` as a *dict/set key* for object identity is fine and common.
+``environ-read``
+    ``os.environ`` reads make behaviour depend on ambient shell state.
+    They are the sanctioned knob surface in ``experiments/`` and
+    ``benchmarks/`` (the ``REPRO_BENCH_*`` family) and forbidden in the
+    simulation core.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .engine import LintRule, ModuleInfo, register_lint_rule
+from .findings import ERROR, Finding, WARNING
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "UnsortedSetIterationRule",
+    "BuiltinHashRule",
+    "IdOrderingRule",
+    "EnvironReadRule",
+]
+
+#: random-module functions that consume the hidden process-global RNG.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _is_builtin_name(module: ModuleInfo, node: ast.AST, name: str) -> bool:
+    """Is ``node`` the builtin ``name`` (not shadowed by an import)?"""
+    return (
+        isinstance(node, ast.Name)
+        and node.id == name
+        and name not in module.imports
+    )
+
+
+@register_lint_rule
+class UnseededRandomRule(LintRule):
+    name = "unseeded-random"
+    severity = ERROR
+    family = "determinism"
+    description = (
+        "module-level random.* calls and seedless random.Random() use the "
+        "process-global RNG; thread an explicit random.Random(seed)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = module.qualname(node.func)
+            if qual is None or not qual.startswith("random."):
+                continue
+            func = qual[len("random."):]
+            if func == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed is OS-seeded; pass an "
+                    "explicit seed",
+                )
+            elif func in _GLOBAL_RNG_FUNCS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{func}() draws from the process-global RNG; "
+                    "thread a seeded random.Random through instead",
+                )
+
+
+@register_lint_rule
+class WallClockRule(LintRule):
+    name = "wall-clock"
+    severity = ERROR
+    family = "determinism"
+    description = (
+        "time.time()/datetime.now() read the host clock; simulation code "
+        "must use the simulated clock (time.perf_counter is allowed for "
+        "telemetry excluded from result identity)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = module.qualname(node.func)
+            if qual in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{qual}() reads the host clock; use the simulation "
+                    "clock (env.now) or perf_counter-based telemetry",
+                )
+
+
+@register_lint_rule
+class BuiltinHashRule(LintRule):
+    name = "builtin-hash"
+    severity = ERROR
+    family = "determinism"
+    description = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); use "
+        "zlib.crc32 for stable hashing"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_builtin_name(
+                module, node.func, "hash"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin hash() is salted per process; derive stable "
+                    "values with zlib.crc32 (the house rule)",
+                )
+
+
+@register_lint_rule
+class IdOrderingRule(LintRule):
+    name = "id-ordering"
+    severity = ERROR
+    family = "determinism"
+    description = (
+        "id() values are allocation addresses; ordering by them is "
+        "nondeterministic (identity keying in dicts/sets is fine)"
+    )
+
+    _ORDER_FUNCS = frozenset({"sorted", "min", "max"})
+
+    def _key_is_id(self, module: ModuleInfo, value: ast.AST) -> bool:
+        if _is_builtin_name(module, value, "id"):
+            return True
+        if isinstance(value, ast.Lambda) and isinstance(value.body, ast.Call):
+            return _is_builtin_name(module, value.body.func, "id")
+        return False
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                qual = module.qualname(node.func)
+                is_order_call = qual in self._ORDER_FUNCS or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"
+                )
+                if is_order_call:
+                    for keyword in node.keywords:
+                        if keyword.arg == "key" and self._key_is_id(
+                            module, keyword.value
+                        ):
+                            yield self.finding(
+                                module,
+                                node,
+                                "ordering by id() depends on allocation "
+                                "addresses; sort by a stable key",
+                            )
+            elif isinstance(node, ast.Compare):
+                ordered_ops = any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                )
+                if not ordered_ops:
+                    continue
+                sides = [node.left, *node.comparators]
+                if any(
+                    isinstance(side, ast.Call)
+                    and _is_builtin_name(module, side.func, "id")
+                    for side in sides
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "comparing id() values orders by allocation "
+                        "address; compare a stable key",
+                    )
+
+
+@register_lint_rule
+class EnvironReadRule(LintRule):
+    name = "environ-read"
+    severity = WARNING
+    family = "determinism"
+    description = (
+        "os.environ reads outside experiments/ and benchmarks/ make core "
+        "behaviour depend on ambient shell state"
+    )
+
+    #: Path components under which env knobs are the sanctioned interface.
+    _ALLOWED_PARTS = frozenset({"experiments", "benchmarks", "scripts"})
+
+    def _allowed_path(self, relpath: str) -> bool:
+        return bool(self._ALLOWED_PARTS.intersection(relpath.split("/")))
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if self._allowed_path(module.relpath):
+            return
+        for node in ast.walk(module.tree):
+            qual: Optional[str] = None
+            if isinstance(node, ast.Attribute):
+                qual = module.qualname(node)
+                if qual != "os.environ":
+                    continue
+                what = "os.environ"
+            elif isinstance(node, ast.Call):
+                qual = module.qualname(node.func)
+                if qual != "os.getenv":
+                    continue
+                what = "os.getenv()"
+            else:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{what} read outside experiments/ and benchmarks/; pass "
+                "configuration explicitly so runs are self-describing",
+            )
+
+
+@register_lint_rule
+class UnsortedSetIterationRule(LintRule):
+    name = "unsorted-set-iteration"
+    severity = ERROR
+    family = "determinism"
+    description = (
+        "iterating a set into an order-sensitive sink without sorted() "
+        "leaks the per-process hash salt into results"
+    )
+
+    #: Call targets whose result does not depend on argument order.
+    _ORDER_NEUTRAL = frozenset(
+        {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+    )
+    #: Call targets that materialise their argument's iteration order.
+    _ORDER_SINKS = frozenset({"list", "tuple", "enumerate", "iter"})
+    _SET_METHODS = frozenset(
+        {"union", "intersection", "difference", "symmetric_difference"}
+    )
+    _SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+    # -- what syntactically *is* a set? ---------------------------------
+    def _is_set_expr(self, module: ModuleInfo, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            qual = module.qualname(node.func)
+            if qual in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._SET_METHODS
+                and self._is_set_expr(module, node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_BINOPS):
+            return self._is_set_expr(module, node.left) or self._is_set_expr(
+                module, node.right
+            )
+        return False
+
+    # -- is this use wrapped by an order-neutral consumer? ---------------
+    def _order_neutralised(self, module: ModuleInfo, node: ast.AST) -> bool:
+        for parent, child in module.ancestors(node):
+            if isinstance(parent, ast.stmt):
+                return False
+            if isinstance(parent, ast.Call):
+                qual = module.qualname(parent.func)
+                in_args = child in parent.args or any(
+                    kw.value is child for kw in parent.keywords
+                )
+                if qual in self._ORDER_NEUTRAL and in_args:
+                    return True
+        return False
+
+    def _flag(self, module: ModuleInfo, node: ast.AST, sink: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"set iteration order is salted per process; wrap in sorted() "
+            f"before feeding {sink}",
+        )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and self._is_set_expr(module, node.iter):
+                yield self._flag(module, node.iter, "a for loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                # A SetComp over a set is set-to-set: still unordered, fine.
+                for generator in node.generators:
+                    if self._is_set_expr(module, generator.iter) and not (
+                        self._order_neutralised(module, node)
+                    ):
+                        yield self._flag(module, generator.iter, "a comprehension")
+            elif isinstance(node, ast.Call):
+                qual = module.qualname(node.func)
+                target: Optional[str] = None
+                if qual in self._ORDER_SINKS:
+                    target = f"{qual}()"
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                ):
+                    target = "str.join()"
+                if target is None or not node.args:
+                    continue
+                if self._is_set_expr(module, node.args[0]) and not (
+                    self._order_neutralised(module, node)
+                ):
+                    yield self._flag(module, node.args[0], target)
+            elif isinstance(node, ast.Starred) and self._is_set_expr(
+                module, node.value
+            ):
+                parent = module.parent(node)
+                if isinstance(parent, (ast.List, ast.Tuple, ast.Call)):
+                    yield self._flag(module, node.value, "an unpacking")

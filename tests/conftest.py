@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
 
@@ -57,6 +58,69 @@ def network(env, topology) -> Network:
 @pytest.fixture
 def tiny_replica(env) -> ReplicaServer:
     return ReplicaServer(env, "us/replica-0", "us", TINY_TEST_PROFILE)
+
+
+# ----------------------------------------------------------------------
+# strict-invariants mode
+# ----------------------------------------------------------------------
+# REPRO_STRICT_INVARIANTS=1 runs every structure's check_invariants() after
+# each mutation that can corrupt accounting (RadixCache evictions, trie
+# capacity enforcement, page alloc/free).  Unset, the checks run only for
+# tests marked @pytest.mark.strict_invariants (the small golden-grid
+# tests); "0" force-disables everywhere.  CI tier-1 sets the flag to "1".
+
+
+def _strict_invariants_enabled(request) -> bool:
+    flag = os.environ.get("REPRO_STRICT_INVARIANTS", "")
+    if flag == "0":
+        return False
+    if flag:
+        return True
+    return request.node.get_closest_marker("strict_invariants") is not None
+
+
+@pytest.fixture(autouse=True)
+def strict_invariants(request, monkeypatch):
+    """Invariant drift checks after every eviction / page transition."""
+    if not _strict_invariants_enabled(request):
+        yield False
+        return
+
+    from repro.core.prefix_tree import PrefixTree
+    from repro.mem.paging import PageAllocator
+    from repro.replica.kv_cache import RadixCache
+
+    radix_evict = RadixCache.evict
+    trie_enforce = PrefixTree._enforce_capacity
+    page_alloc = PageAllocator.alloc
+    page_free = PageAllocator.free
+
+    def checked_evict(self, num_tokens, now=0.0):
+        evicted = radix_evict(self, num_tokens, now)
+        if evicted > 0:
+            self.check_invariants()
+        return evicted
+
+    def checked_enforce(self):
+        before = self._total_tokens
+        trie_enforce(self)
+        if self._total_tokens != before:
+            self.check_invariants()
+
+    def checked_alloc(self, tokens):
+        block = page_alloc(self, tokens)
+        self.check_invariants()
+        return block
+
+    def checked_free(self, block):
+        page_free(self, block)
+        self.check_invariants()
+
+    monkeypatch.setattr(RadixCache, "evict", checked_evict)
+    monkeypatch.setattr(PrefixTree, "_enforce_capacity", checked_enforce)
+    monkeypatch.setattr(PageAllocator, "alloc", checked_alloc)
+    monkeypatch.setattr(PageAllocator, "free", checked_free)
+    yield True
 
 
 @pytest.fixture

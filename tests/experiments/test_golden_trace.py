@@ -38,9 +38,15 @@ import dataclasses
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.experiments import REGISTRY, ClusterConfig, run_sweep
 from repro.experiments.workloads import MACRO_WORKLOAD_BUILDERS
 from repro.replica.model_profile import LLAMA_8B_L4
+
+# The golden grid evicts constantly on both PrefixTree and RadixCache --
+# exactly where strict-invariants drift checks earn their keep.
+pytestmark = pytest.mark.strict_invariants
 
 #: The paper's L4 profile with the KV pool shrunk to ~7k tokens, so the
 #: radix cache evicts under the golden workloads instead of never filling.

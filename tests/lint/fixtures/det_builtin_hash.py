@@ -1,0 +1,23 @@
+"""Fixture: builtin-hash.  `# LINT: <rule>` marks expected findings."""
+
+import zlib
+
+# -- known-bad ----------------------------------------------------------
+bucket = hash("user-7") % 16  # LINT: builtin-hash
+
+
+def spread(key: str, slots: int) -> int:
+    return hash(key) % slots  # LINT: builtin-hash
+
+
+# -- known-good ---------------------------------------------------------
+stable = zlib.crc32(b"user-7") % 16
+
+
+def stable_spread(key: str, slots: int) -> int:
+    return zlib.crc32(key.encode("utf-8")) % slots
+
+
+class WithDunder:
+    def __hash__(self):  # defining __hash__ is not calling builtin hash()
+        return 7

@@ -1,0 +1,19 @@
+"""Fixture: environ-read.  `# LINT: <rule>` marks expected findings.
+
+The rule is path-scoped: linted under this tests/ fixture path the reads
+below are findings; the same source linted as if it lived under
+``src/repro/experiments/`` is clean (see test_rules.py).
+"""
+
+import os
+
+# -- known-bad (outside experiments//benchmarks//scripts/) --------------
+mode = os.environ["REPRO_MODE"]  # LINT: environ-read
+opt = os.environ.get("REPRO_OPT", "")  # LINT: environ-read
+flag = os.getenv("REPRO_FLAG")  # LINT: environ-read
+
+
+# -- known-good ---------------------------------------------------------
+def configured(mode: str, opt: str = "") -> str:
+    """Configuration arrives as arguments, not ambient shell state."""
+    return f"{mode}:{opt}"

@@ -1,0 +1,17 @@
+"""Fixture: id-ordering.  `# LINT: <rule>` marks expected findings."""
+
+items = [object() for _ in range(4)]
+a, b = object(), object()
+
+# -- known-bad ----------------------------------------------------------
+by_address = sorted(items, key=id)  # LINT: id-ordering
+smallest = min(items, key=lambda o: id(o))  # LINT: id-ordering
+items.sort(key=id)  # LINT: id-ordering
+first = id(a) < id(b)  # LINT: id-ordering
+
+# -- known-good ---------------------------------------------------------
+identity_keyed = {id(obj): obj for obj in items}  # identity *keying* is fine
+seen = set()
+seen.add(id(a))
+same = id(a) == id(b)  # equality (is-style) comparison carries no order
+by_name = sorted(items, key=repr)

@@ -1,0 +1,22 @@
+"""Fixture: unseeded-random.  `# LINT: <rule>` marks expected findings."""
+
+import random
+import random as rnd
+
+# -- known-bad ----------------------------------------------------------
+jitter = random.random()  # LINT: unseeded-random
+pick = random.choice([1, 2, 3])  # LINT: unseeded-random
+aliased = rnd.randint(0, 10)  # LINT: unseeded-random
+os_seeded = random.Random()  # LINT: unseeded-random
+random.seed(42)  # LINT: unseeded-random
+
+
+def shuffle_in_place(items):
+    random.shuffle(items)  # LINT: unseeded-random
+
+
+# -- known-good ---------------------------------------------------------
+rng = random.Random(42)
+threaded = rng.random()
+also_fine = rng.choice([1, 2, 3])
+derived = random.Random(rng.randrange(2**32))

@@ -1,0 +1,28 @@
+"""Fixture: unsorted-set-iteration.  `# LINT: <rule>` marks findings."""
+
+xs = ["b", "a", "c", "a"]
+
+# -- known-bad ----------------------------------------------------------
+for item in set(xs):  # LINT: unsorted-set-iteration
+    print(item)
+
+for item in {"b", "a"}:  # LINT: unsorted-set-iteration
+    print(item)
+
+materialised = list(set(xs))  # LINT: unsorted-set-iteration
+joined = ",".join({"b", "a"})  # LINT: unsorted-set-iteration
+squares = [x * 2 for x in set(xs)]  # LINT: unsorted-set-iteration
+unpacked = [*set(xs)]  # LINT: unsorted-set-iteration
+union_loop = list(set(xs).union({"z"}))  # LINT: unsorted-set-iteration
+binop = tuple({"a"} | {"b"})  # LINT: unsorted-set-iteration
+
+# -- known-good ---------------------------------------------------------
+ordered = sorted(set(xs))
+for item in sorted({"b", "a"}):
+    print(item)
+count = len(set(xs))
+lowest = min(set(xs))
+truthy = any(x == "a" for x in xs)
+set_to_set = {x.upper() for x in set(xs)}  # still a set: no order leaked
+membership = "a" in set(xs)
+rebuilt = frozenset(set(xs))

@@ -1,0 +1,19 @@
+"""Fixture: wall-clock.  `# LINT: <rule>` marks expected findings."""
+
+import datetime
+import time
+from time import time as now
+
+# -- known-bad ----------------------------------------------------------
+stamp = time.time()  # LINT: wall-clock
+nanos = time.time_ns()  # LINT: wall-clock
+mono = time.monotonic()  # LINT: wall-clock
+aliased = now()  # LINT: wall-clock
+today = datetime.datetime.now()  # LINT: wall-clock
+utc = datetime.datetime.utcnow()  # LINT: wall-clock
+date_today = datetime.date.today()  # LINT: wall-clock
+
+# -- known-good ---------------------------------------------------------
+telemetry_t0 = time.perf_counter()  # wall-clock *telemetry* is the house style
+elapsed = time.perf_counter() - telemetry_t0
+fixed = datetime.datetime(2024, 1, 1)

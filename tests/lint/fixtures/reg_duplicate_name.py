@@ -1,0 +1,30 @@
+"""Fixture: registry-duplicate-name.  `# LINT: <rule>` marks findings."""
+
+
+def register_widget(name, *, replace_existing=False):
+    return lambda factory: factory
+
+
+def register_gadget(name):
+    return lambda factory: factory
+
+
+def first(spec):
+    return object()
+
+
+def second(spec):
+    return object()
+
+
+# -- known-bad ----------------------------------------------------------
+register_widget("dup")(first)
+register_widget("dup")(second)  # LINT: registry-duplicate-name
+register_widget("Case-Fold")(first)
+register_widget("case-fold")(second)  # LINT: registry-duplicate-name
+
+# -- known-good ---------------------------------------------------------
+register_widget("unique-a")(first)
+register_widget("unique-b")(second)
+register_gadget("dup")(first)  # same name, different registry family: fine
+register_widget("dup", replace_existing=True)(second)  # explicit override

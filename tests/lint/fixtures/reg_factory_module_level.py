@@ -1,0 +1,31 @@
+"""Fixture: registry-factory-module-level.  `# LINT: <rule>` marks findings."""
+
+
+def register_widget(name, *, replace_existing=False):
+    def decorator(factory):
+        return factory
+    return decorator
+
+
+# -- known-bad ----------------------------------------------------------
+register_widget("lambda-made")(lambda spec: object())  # LINT: registry-factory-module-level
+
+
+def build_plugins():
+    @register_widget("closure-made")  # LINT: registry-import-safe
+    def closure_factory(spec):  # LINT: registry-factory-module-level
+        return object()
+
+    return closure_factory
+
+
+# -- known-good ---------------------------------------------------------
+@register_widget("module-level")
+def module_level_factory(spec):
+    return object()
+
+
+@register_widget("class-factory")
+class ClassFactory:
+    def __init__(self, spec):
+        self.spec = spec

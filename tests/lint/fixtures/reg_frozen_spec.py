@@ -1,0 +1,61 @@
+"""Fixture: registry-frozen-spec.  `# LINT: <rule>` marks findings."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def register_widget(name, *, config=None, spec=None):
+    return lambda factory: factory
+
+
+# -- known-bad ----------------------------------------------------------
+@dataclass
+class UnfrozenConfig:  # LINT: registry-frozen-spec
+    name: str
+
+
+register_widget("unfrozen", config=UnfrozenConfig)
+
+
+@dataclass(frozen=True)
+class MutableFieldSpec:
+    name: str
+    weights: Dict[str, float]  # LINT: registry-frozen-spec
+    history: List[int] = field(default_factory=list)  # LINT: registry-frozen-spec
+
+
+register_widget("mutable-fields", spec=MutableFieldSpec)
+
+
+class NotADataclassConfig:  # LINT: registry-frozen-spec
+    pass
+
+
+register_widget("raw", config=NotADataclassConfig)
+
+
+@dataclass(frozen=True)
+class BaseSpec:
+    label: str
+
+
+@dataclass
+class ChildSpec(BaseSpec):  # LINT: registry-frozen-spec
+    extra: str = ""
+
+
+# -- known-good ---------------------------------------------------------
+@dataclass(frozen=True)
+class GoodConfig:
+    name: str
+    dims: Tuple[int, ...] = ()
+    parent: Optional[str] = None
+    nested: Optional[BaseSpec] = None
+
+
+register_widget("good", config=GoodConfig)
+
+
+@dataclass(frozen=True)
+class GoodChildSpec(BaseSpec):
+    weight: float = 1.0

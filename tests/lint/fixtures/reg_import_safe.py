@@ -1,0 +1,32 @@
+"""Fixture: registry-import-safe.  `# LINT: <rule>` marks findings."""
+
+
+def register_widget(name):
+    return lambda factory: factory
+
+
+def module_level_factory(spec):
+    return object()
+
+
+# -- known-bad ----------------------------------------------------------
+def install_plugins():
+    register_widget("late")(module_level_factory)  # LINT: registry-import-safe
+
+
+if __name__ == "__main__":
+    register_widget("guarded")(module_level_factory)  # LINT: registry-import-safe
+
+# -- known-good ---------------------------------------------------------
+register_widget("at-import")(module_level_factory)
+
+
+@register_widget("decorated")
+def decorated_factory(spec):
+    return object()
+
+
+def register_many(names):
+    # Dynamic names are registry plumbing, not concrete registrations.
+    for dynamic_name in names:
+        register_widget(dynamic_name)(module_level_factory)

@@ -1,0 +1,112 @@
+"""Baseline semantics: round-trip, partitioning, and the shrink-only ratchet
+on the committed ``.repro-lint-baseline.json``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    BASELINE_VERSION,
+    Finding,
+    baseline_from_findings,
+    lint_paths,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED_BASELINE = REPO_ROOT / ".repro-lint-baseline.json"
+
+
+def _finding(path="sim/a.py", line=3, rule="unseeded-random", message="msg"):
+    return Finding(
+        path=path, line=line, col=1, rule=rule, severity="error", message=message
+    )
+
+
+# ----------------------------------------------------------------------
+# round-trip
+# ----------------------------------------------------------------------
+def test_round_trip(tmp_path):
+    baseline = baseline_from_findings(
+        [_finding(line=3), _finding(line=9), _finding(rule="wall-clock")]
+    )
+    path = tmp_path / "baseline.json"
+    save_baseline(path, baseline)
+    assert load_baseline(path) == baseline
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert list(payload["findings"]) == sorted(payload["findings"])
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+    path.write_text(json.dumps({"findings": {"k": 0}, "version": BASELINE_VERSION}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+def test_split_new_baselined_and_stale():
+    covered = _finding(line=3)
+    extra = _finding(line=9)  # same key, second occurrence
+    baseline = baseline_from_findings([covered])
+    baseline["sim/gone.py::wall-clock::old"] = 1
+    new, baselined, stale = split_findings([extra, covered], baseline)
+    assert baselined == [covered]  # deterministic: lowest line first
+    assert new == [extra]
+    assert stale == ["sim/gone.py::wall-clock::old"]
+
+
+def test_baseline_key_ignores_line_numbers():
+    moved = _finding(line=77)
+    baseline = baseline_from_findings([_finding(line=3)])
+    new, baselined, stale = split_findings([moved], baseline)
+    assert new == [] and baselined == [moved] and stale == []
+
+
+def test_overcounted_key_is_stale():
+    baseline = baseline_from_findings([_finding(line=3), _finding(line=9)])
+    new, baselined, stale = split_findings([_finding(line=3)], baseline)
+    assert new == []
+    assert len(baselined) == 1
+    assert stale == [_finding().baseline_key]
+
+
+# ----------------------------------------------------------------------
+# the committed baseline: shrink-only, and registry rules are exception-free
+# ----------------------------------------------------------------------
+def test_committed_baseline_matches_src_exactly():
+    """src/ must produce zero new findings AND zero stale entries.
+
+    Zero new keeps main lint-clean; zero stale is the ratchet -- fixing a
+    grandfathered finding forces deleting its baseline entry, so the file
+    can only shrink.
+    """
+    baseline = load_baseline(COMMITTED_BASELINE)
+    report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    new, _baselined, stale = split_findings(report.findings, baseline)
+    assert new == [], "new findings in src/:\n" + "\n".join(
+        f.format() for f in new
+    )
+    assert stale == [], f"stale baseline entries (delete them): {stale}"
+
+
+def test_registry_rules_have_zero_baselined_exceptions():
+    """The spawn-safety contract admits no grandfathered violations."""
+    baseline = load_baseline(COMMITTED_BASELINE)
+    registry_keys = [key for key in baseline if "::registry-" in key]
+    assert registry_keys == []

@@ -1,0 +1,124 @@
+"""Engine mechanics: suppressions, import resolution, parse failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.engine import (
+    SYNTAX_ERROR_RULE,
+    iter_python_files,
+    lint_modules,
+    parse_module,
+)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_allow_comment_on_the_line_suppresses():
+    findings = lint_source(
+        "import random\n"
+        "x = random.random()  # repro: allow(unseeded-random)\n"
+    )
+    assert findings == []
+
+
+def test_allow_comment_on_the_line_above_suppresses():
+    findings = lint_source(
+        "import random\n"
+        "# repro: allow(unseeded-random)\n"
+        "x = random.random()\n"
+    )
+    assert findings == []
+
+
+def test_allow_comment_lists_multiple_rules():
+    findings = lint_source(
+        "import random, time\n"
+        "# repro: allow(unseeded-random, wall-clock)\n"
+        "x = random.random() + time.time()\n"
+    )
+    assert findings == []
+
+
+def test_allow_comment_for_a_different_rule_does_not_suppress():
+    findings = lint_source(
+        "import random\n"
+        "x = random.random()  # repro: allow(wall-clock)\n"
+    )
+    assert [f.rule for f in findings] == ["unseeded-random"]
+
+
+def test_suppressed_findings_stay_countable():
+    module, failure = parse_module(
+        "import random\n"
+        "x = random.random()  # repro: allow(unseeded-random)\n",
+        "sim/x.py",
+    )
+    assert failure is None
+    report = lint_modules([module])
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["unseeded-random"]
+
+
+# ----------------------------------------------------------------------
+# import resolution
+# ----------------------------------------------------------------------
+def test_import_alias_resolves():
+    findings = lint_source("import random as rnd\nx = rnd.random()\n")
+    assert [f.rule for f in findings] == ["unseeded-random"]
+
+
+def test_from_import_alias_resolves():
+    findings = lint_source("from time import time as now\nx = now()\n")
+    assert [f.rule for f in findings] == ["wall-clock"]
+
+
+def test_shadowed_builtin_is_not_flagged():
+    findings = lint_source(
+        "from zlib import crc32 as hash\n"
+        "x = hash(b'stable')\n"
+    )
+    assert findings == []
+
+
+def test_unrelated_attribute_chain_is_not_flagged():
+    findings = lint_source("rng = object()\nx = rng.random()\n")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# parse failures and file discovery
+# ----------------------------------------------------------------------
+def test_syntax_error_becomes_a_finding():
+    findings = lint_source("def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule == SYNTAX_ERROR_RULE
+    assert findings[0].severity == "error"
+
+
+def test_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([tmp_path / "nope"])
+
+
+def test_iter_python_files_skips_hidden_and_pycache(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "mod.py").write_text("x = 1\n")
+    files = iter_python_files([tmp_path])
+    assert [f.name for f in files] == ["mod.py"]
+    assert "__pycache__" not in str(files[0])
+
+
+def test_lint_paths_relativises_against_root(tmp_path):
+    target = tmp_path / "sim" / "bad.py"
+    target.parent.mkdir()
+    target.write_text("import random\nx = random.random()\n")
+    report = lint_paths([tmp_path], root=tmp_path)
+    assert [f.path for f in report.findings] == ["sim/bad.py"]
+    assert report.files == 1

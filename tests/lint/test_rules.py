@@ -1,0 +1,85 @@
+"""Every lint rule against its fixture file.
+
+Each fixture under ``fixtures/`` carries ``# LINT: <rule>`` markers on the
+lines where a finding is expected; everything unmarked is known-good.  The
+test lints the fixture and requires the finding set to match the markers
+*exactly* -- a rule that stops firing and a rule that starts over-firing
+both fail.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Set, Tuple
+
+import pytest
+
+from repro.lint import lint_source, registered_lint_rules
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
+
+_MARKER_RE = re.compile(r"#\s*LINT:\s*([\w\-,\s]+?)\s*$")
+
+
+def expected_findings(source: str) -> Set[Tuple[int, str]]:
+    """(line, rule) pairs declared by ``# LINT:`` markers."""
+    expected: Set[Tuple[int, str]] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER_RE.search(line)
+        if match is None:
+            continue
+        for rule in match.group(1).split(","):
+            rule = rule.strip()
+            if rule:
+                expected.add((lineno, rule))
+    return expected
+
+
+def test_fixtures_exist():
+    assert FIXTURES, f"no fixture files under {FIXTURE_DIR}"
+
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_findings_match_markers(fixture: Path):
+    source = fixture.read_text(encoding="utf-8")
+    expected = expected_findings(source)
+    assert expected, f"{fixture.name} declares no # LINT: markers"
+    findings = lint_source(source, path=f"tests/lint/fixtures/{fixture.name}")
+    actual = {(f.line, f.rule) for f in findings}
+    assert actual == expected, (
+        f"{fixture.name}: findings do not match markers.\n"
+        f"  unexpected: {sorted(actual - expected)}\n"
+        f"  missing:    {sorted(expected - actual)}"
+    )
+
+
+def test_every_registered_rule_has_a_fixture():
+    """Each of the registered rules is exercised by at least one marker."""
+    covered: Set[str] = set()
+    for fixture in FIXTURES:
+        for _line, rule in expected_findings(fixture.read_text(encoding="utf-8")):
+            covered.add(rule)
+    missing = set(registered_lint_rules()) - covered
+    assert not missing, f"rules without fixture coverage: {sorted(missing)}"
+
+
+def test_environ_read_is_path_scoped():
+    """The same source is a finding in core code, sanctioned in experiments/."""
+    source = FIXTURE_DIR.joinpath("det_environ_read.py").read_text(encoding="utf-8")
+    core = lint_source(source, path="src/repro/core/example.py")
+    assert any(f.rule == "environ-read" for f in core)
+    sanctioned = lint_source(source, path="src/repro/experiments/example.py")
+    assert not [f for f in sanctioned if f.rule == "environ-read"]
+
+
+def test_findings_carry_location_and_severity():
+    findings = lint_source("import random\nx = random.random()\n", path="sim/x.py")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "unseeded-random"
+    assert finding.line == 2
+    assert finding.severity == "error"
+    assert finding.path == "sim/x.py"
+    assert "sim/x.py:2:" in finding.format()

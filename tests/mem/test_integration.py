@@ -17,6 +17,8 @@ import random
 
 import pytest
 
+pytestmark = pytest.mark.strict_invariants
+
 from repro.experiments import (
     REGISTRY,
     ClusterConfig,
