@@ -155,8 +155,13 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
     # Fault injection: only a non-empty schedule creates any machinery at
     # all, so faults=None (and the empty schedule) keep the simulation's
     # event sequence byte-identical to the historical fault-free path.
+    # Stochastic descriptions compile to a concrete schedule here, from the
+    # run's own duration and seed -- a compiled-empty one (nothing fired
+    # within the horizon) is treated exactly like no schedule at all.
     injector: Optional[FaultInjector] = None
     schedule = resolve_fault_schedule(config.faults)
+    if schedule is not None:
+        schedule = schedule.compile(duration_s=config.duration_s, seed=config.seed)
     if schedule is not None and not schedule.is_empty:
         injector = FaultInjector(
             env,

@@ -124,6 +124,14 @@ class SkyWalkerConfig(SystemSpec):
     trie_max_tokens: int = 2_000_000
     #: Optional routing constraint: None, "gdpr" or "continent".
     constraint: Optional[str] = None
+    #: Prefix-affinity escape hatch: a preferred replica is abandoned for
+    #: the least-loaded one only when its estimated load exceeds BOTH the
+    #: absolute and the relative threshold (defaults match the balancer).
+    #: Cranking the absolute threshold sky-high yields a pure
+    #: prefix-affinity variant that never escapes -- the gray-failure
+    #: benchmark's strawman.
+    balance_abs_threshold: int = 8
+    balance_rel_threshold: float = 1.5
 
 
 def build_skywalker_region(
@@ -150,6 +158,8 @@ def build_skywalker_region(
         probe_interval_s=spec.probe_interval_s,
         prefix_match_threshold=spec.prefix_match_threshold,
         trie_max_tokens=spec.trie_max_tokens,
+        balance_abs_threshold=spec.balance_abs_threshold,
+        balance_rel_threshold=spec.balance_rel_threshold,
         allow_remote=allow_remote,
         constraint=ctx.make_constraint(spec.constraint),
         hash_key_fn=ctx.hash_key_fn(),

@@ -11,7 +11,14 @@ failover demo) -- becomes a reusable subsystem here:
   pushing/constraint/selection registries.
 * :class:`FaultSchedule` composes timed events into a scenario;
   :func:`register_fault_schedule` names whole scenarios so sweeps can ship
-  just a string into worker processes.
+  just a string into worker processes.  :mod:`repro.faults.scenarios`
+  registers a library of ready-made ones (``rolling-upgrade``,
+  ``lossy-wan``, ``spot-eviction-wave``, ...).
+* Gray failures are first-class: :class:`ReplicaDegrade` slows a replica
+  without killing it, :class:`LinkDegrade` adds loss and jitter to a link,
+  and :class:`RenewalFaultProcess` / :class:`StochasticFaultSchedule`
+  compile seeded MTBF/MTTR renewal chains into concrete schedules per run
+  seed.
 * :class:`FaultInjector` executes a schedule deterministically against a
   live experiment, running a :class:`~repro.core.controller.ServiceController`
   for SkyWalker-family balancer failures so §4.2 failover happens end to
@@ -39,6 +46,7 @@ schedule + seed reproduces the same metrics bit for bit, serial or under
 
 from .injector import FaultContext, FaultInjector, FaultRecord
 from .schedule import (
+    CompilesToFaultSchedule,
     FaultEvent,
     FaultSchedule,
     FaultsLike,
@@ -53,26 +61,34 @@ from .spec import (
     BalancerRecovery,
     FaultEntry,
     FaultSpec,
+    LinkDegrade,
     LinkLatencySpike,
     RegionPartition,
     ReplicaCrash,
+    ReplicaDegrade,
     ReplicaRecover,
+    ReplicaRestore,
     make_fault,
     register_fault,
     registered_faults,
     resolve_fault,
     unregister_fault,
 )
+from .stochastic import RenewalFaultProcess, StochasticFaultSchedule
+from . import scenarios  # noqa: F401  (imported for registration side effect)
 
 __all__ = [
     # specs + fault registry
     "FaultSpec",
     "ReplicaCrash",
     "ReplicaRecover",
+    "ReplicaDegrade",
+    "ReplicaRestore",
     "BalancerFailure",
     "BalancerRecovery",
     "RegionPartition",
     "LinkLatencySpike",
+    "LinkDegrade",
     "FaultEntry",
     "register_fault",
     "unregister_fault",
@@ -82,12 +98,16 @@ __all__ = [
     # schedules + schedule registry
     "FaultEvent",
     "FaultSchedule",
+    "CompilesToFaultSchedule",
     "FaultsLike",
     "register_fault_schedule",
     "unregister_fault_schedule",
     "registered_fault_schedules",
     "make_fault_schedule",
     "resolve_fault_schedule",
+    # stochastic processes
+    "RenewalFaultProcess",
+    "StochasticFaultSchedule",
     # execution
     "FaultInjector",
     "FaultContext",

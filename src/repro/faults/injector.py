@@ -36,10 +36,13 @@ from .spec import (
     BalancerFailure,
     BalancerRecovery,
     FaultSpec,
+    LinkDegrade,
     LinkLatencySpike,
     RegionPartition,
     ReplicaCrash,
+    ReplicaDegrade,
     ReplicaRecover,
+    ReplicaRestore,
     register_fault,
     resolve_fault,
 )
@@ -69,6 +72,10 @@ class FaultRecord:
     #: Whether this record opens an outage window for the resilience
     #: metrics (recovery-type events resolve windows instead).
     opens_window: bool = True
+    #: Whether this record opens a *degraded* (gray, slow-but-alive)
+    #: window -- tracked separately from hard outages: a degraded system
+    #: still serves, so its goodput/TTFT are reported, not its downtime.
+    opens_degraded_window: bool = False
     #: Requests this event stranded (pulled out of a dead balancer).
     stranded: int = 0
 
@@ -158,6 +165,13 @@ class FaultInjector:
         tracker: Optional[RequestTracker] = None,
     ) -> None:
         resolved = resolve_fault_schedule(schedule)
+        if resolved is not None and not isinstance(resolved, FaultSchedule):
+            raise TypeError(
+                f"FaultInjector needs a concrete FaultSchedule, got "
+                f"{type(resolved).__name__}; call "
+                ".compile(duration_s=..., seed=...) first (run_experiment "
+                "does this automatically)"
+            )
         self.schedule = resolved if resolved is not None else FaultSchedule()
         self.env = env
         self.network = network
@@ -238,7 +252,7 @@ class FaultInjector:
         (how explicit recover events close their matching crash record)."""
         for record in self.records:
             if (
-                record.opens_window
+                (record.opens_window or record.opens_degraded_window)
                 and record.resolved_at is None
                 and record.target == target
                 and record.fault.kind == kind
@@ -279,6 +293,27 @@ class FaultInjector:
                 windows.append((start, end))
         return sorted(windows)
 
+    def degraded_windows(self, duration_s: float) -> List[Tuple[float, float]]:
+        """``(start, end)`` of every gray-failure window, clipped to the run.
+
+        Unlike :meth:`outage_windows`, these cover slow-but-alive periods
+        (degraded replicas, lossy links): the system keeps serving, so the
+        resilience metrics report goodput and TTFT *inside* the windows
+        rather than counting them as downtime.
+        """
+        windows: List[Tuple[float, float]] = []
+        for record in self.records:
+            if not record.opens_degraded_window:
+                continue
+            end = record.resolved_at
+            if end is None:
+                end = duration_s
+            start = min(record.injected_at, duration_s)
+            end = min(end, duration_s)
+            if end > start:
+                windows.append((start, end))
+        return sorted(windows)
+
     @property
     def failover_count(self) -> int:
         """Controller failovers handled (or injected balancer failures,
@@ -311,6 +346,7 @@ class FaultInjector:
             completed=completed,
             duration_s=duration_s,
             outage_windows=self.outage_windows(duration_s),
+            degraded_windows=self.degraded_windows(duration_s),
             num_fault_events=len(self.records),
             failover_count=self.failover_count,
             stranded_requests=self.stranded_requests,
@@ -465,13 +501,89 @@ def _apply_region_partition(
 def _apply_link_latency_spike(
     spec: LinkLatencySpike, ctx: FaultContext, record: FaultRecord
 ) -> None:
+    # Additive contribution (not an overwrite): overlapping spikes sum and
+    # each settle removes exactly its own surcharge, and a spike landing on
+    # a partitioned link never disturbs the block -- latency and blocking
+    # are independent per-edge states.
     record.target = f"{spec.a}<->{spec.b}"
-    ctx.network.set_link_extra_latency(spec.a, spec.b, spec.extra_s)
+    ctx.network.add_link_extra_latency(spec.a, spec.b, spec.extra_s)
     if spec.duration_s is not None:
 
         def settle_later():
             yield ctx.env.timeout(spec.duration_s)
-            ctx.network.set_link_extra_latency(spec.a, spec.b, 0.0)
+            ctx.network.remove_link_extra_latency(spec.a, spec.b, spec.extra_s)
             ctx.injector.resolve(record)
 
         ctx.env.process(settle_later())
+
+
+@register_fault(
+    "replica-degrade",
+    spec=ReplicaDegrade,
+    description="Gray failure: slow a replica to a named performance level",
+)
+def _apply_replica_degrade(
+    spec: ReplicaDegrade, ctx: FaultContext, record: FaultRecord
+) -> None:
+    replica = ctx.replica(spec.region, spec.index)
+    record.target = replica.name
+    record.opens_window = False
+    record.opens_degraded_window = True
+    until = None if spec.duration_s is None else ctx.env.now + spec.duration_s
+    token = replica.set_performance_level(spec.level, until=until)
+    if spec.duration_s is not None:
+
+        def restore_later():
+            yield ctx.env.timeout(spec.duration_s)
+            # Epoch-guarded: a newer degrade supersedes this timed restore.
+            replica.restore_performance(token)
+            ctx.injector.resolve(record)
+
+        ctx.env.process(restore_later())
+
+
+@register_fault(
+    "replica-restore",
+    spec=ReplicaRestore,
+    description="Return a degraded replica to nominal compute rates",
+)
+def _apply_replica_restore(
+    spec: ReplicaRestore, ctx: FaultContext, record: FaultRecord
+) -> None:
+    replica = ctx.replica(spec.region, spec.index)
+    record.target = replica.name
+    record.opens_window = False
+    replica.restore_performance()
+    ctx.injector.resolve_target(replica.name, kind="replica-degrade")
+
+
+@register_fault(
+    "link-degrade",
+    spec=LinkDegrade,
+    description="Gray link failure: loss probability + extra jitter",
+)
+def _apply_link_degrade(
+    spec: LinkDegrade, ctx: FaultContext, record: FaultRecord
+) -> None:
+    record.target = f"{spec.a}<->{spec.b}"
+    record.opens_window = False
+    record.opens_degraded_window = True
+    ctx.network.add_link_degrade(
+        spec.a,
+        spec.b,
+        loss_probability=spec.loss_probability,
+        extra_jitter_fraction=spec.extra_jitter_fraction,
+    )
+    if spec.duration_s is not None:
+
+        def heal_later():
+            yield ctx.env.timeout(spec.duration_s)
+            ctx.network.remove_link_degrade(
+                spec.a,
+                spec.b,
+                loss_probability=spec.loss_probability,
+                extra_jitter_fraction=spec.extra_jitter_fraction,
+            )
+            ctx.injector.resolve(record)
+
+        ctx.env.process(heal_later())

@@ -26,6 +26,7 @@ from .spec import BalancerFailure, FaultSpec
 __all__ = [
     "FaultEvent",
     "FaultSchedule",
+    "CompilesToFaultSchedule",
     "FaultsLike",
     "register_fault_schedule",
     "unregister_fault_schedule",
@@ -33,6 +34,23 @@ __all__ = [
     "make_fault_schedule",
     "resolve_fault_schedule",
 ]
+
+
+class CompilesToFaultSchedule:
+    """Base class for schedule *descriptions* that compile per run.
+
+    A stochastic fault description (e.g.
+    :class:`~repro.faults.stochastic.StochasticFaultSchedule`) is not a
+    concrete event list -- it becomes one only once the run's
+    ``duration_s`` and ``seed`` are known.  The runner calls
+    :meth:`compile` right before building the injector; a concrete
+    :class:`FaultSchedule` simply compiles to itself.  Subclasses must be
+    plain picklable data so they travel into sweep workers like any other
+    ``faults=`` argument.
+    """
+
+    def compile(self, *, duration_s: float, seed: int) -> "FaultSchedule":
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -109,10 +127,21 @@ class FaultSchedule:
         """Events in injection order: by time, ties broken by list order."""
         return sorted(self.events, key=lambda event: event.at_s)
 
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Concatenate another schedule's events (keeping *this* schedule's
+        controller knobs).  Event order is preserved, so identical-time
+        events from ``self`` still inject before ``other``'s."""
+        return replace(self, events=self.events + tuple(other.events))
 
-#: What every ``faults=`` parameter accepts: nothing, a schedule, or the
-#: name of a registered schedule factory.
-FaultsLike = Union[None, str, FaultSchedule]
+    def compile(self, *, duration_s: float, seed: int) -> "FaultSchedule":
+        """A concrete schedule is already compiled (returns ``self``)."""
+        return self
+
+
+#: What every ``faults=`` parameter accepts: nothing, a schedule, a
+#: stochastic description compiling to one, or the name of a registered
+#: schedule factory.
+FaultsLike = Union[None, str, FaultSchedule, CompilesToFaultSchedule]
 
 
 # ----------------------------------------------------------------------
@@ -144,33 +173,39 @@ def registered_fault_schedules() -> Tuple[str, ...]:
     return _SCHEDULES.names()
 
 
-def make_fault_schedule(name: str, **kwargs) -> FaultSchedule:
-    """Instantiate a registered schedule factory by name."""
+def make_fault_schedule(name: str, **kwargs):
+    """Instantiate a registered schedule factory by name.
+
+    Factories may return either a concrete :class:`FaultSchedule` or a
+    :class:`CompilesToFaultSchedule` description (a stochastic scenario
+    compiles per run seed)."""
     schedule = _SCHEDULES.make(name, **kwargs)
-    if not isinstance(schedule, FaultSchedule):
+    if not isinstance(schedule, (FaultSchedule, CompilesToFaultSchedule)):
         raise TypeError(
             f"fault schedule factory {name!r} returned "
-            f"{type(schedule).__name__}, expected FaultSchedule"
+            f"{type(schedule).__name__}, expected FaultSchedule "
+            "or CompilesToFaultSchedule"
         )
     return schedule
 
 
-def resolve_fault_schedule(faults: FaultsLike) -> Optional[FaultSchedule]:
+def resolve_fault_schedule(faults: FaultsLike):
     """Normalise a ``faults=`` argument to a schedule (or ``None``).
 
     ``None`` passes through (no fault machinery at all -- the zero-fault
     path is byte-for-byte the historical one); strings resolve through the
-    schedule registry; schedules are returned as-is.
+    schedule registry; schedule objects -- concrete or compiling -- are
+    returned as-is (the runner compiles right before injection).
     """
     if faults is None:
         return None
-    if isinstance(faults, FaultSchedule):
+    if isinstance(faults, (FaultSchedule, CompilesToFaultSchedule)):
         return faults
     if isinstance(faults, str):
         return make_fault_schedule(faults)
     raise TypeError(
-        "faults must be None, a FaultSchedule, or a registered schedule "
-        f"name; got {type(faults).__name__}"
+        "faults must be None, a FaultSchedule, a CompilesToFaultSchedule, "
+        f"or a registered schedule name; got {type(faults).__name__}"
     )
 
 

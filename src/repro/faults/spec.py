@@ -45,6 +45,14 @@ Built-in kinds (appliers live in :mod:`repro.faults.injector`):
     isolate one region from everyone (``b=None``).
 ``link-latency-spike``
     Add a constant extra one-way latency to a link.
+``replica-degrade`` / ``replica-restore``
+    Gray failure: slow a replica's compute to a named performance level
+    (``thermal-throttle``, ``power-cap``, ...) without killing it.  The
+    replica stays healthy, keeps answering probes, and its queue inflates
+    -- which is exactly what load-aware routing is supposed to notice.
+``link-degrade``
+    Gray network failure: per-message loss probability and extra jitter on
+    a link.  Probes feel the jitter but are never lost (slow, not dead).
 """
 
 from __future__ import annotations
@@ -60,6 +68,9 @@ __all__ = [
     "BalancerRecovery",
     "RegionPartition",
     "LinkLatencySpike",
+    "ReplicaDegrade",
+    "ReplicaRestore",
+    "LinkDegrade",
     "FaultEntry",
     "register_fault",
     "unregister_fault",
@@ -161,12 +172,67 @@ class RegionPartition(FaultSpec):
 
 @dataclass(frozen=True)
 class LinkLatencySpike(FaultSpec):
-    """Add ``extra_s`` of one-way latency to the ``a``<->``b`` link."""
+    """Add ``extra_s`` of one-way latency to the ``a``<->``b`` link.
+
+    Spikes compose: overlapping spikes on the same link sum, and each one
+    removes exactly its own surcharge when it settles.  A spike on a
+    partitioned link never resurrects the partition -- blocking and latency
+    are independent per-edge states.
+    """
 
     kind: str = "link-latency-spike"
     a: str = "us"
     b: str = "eu"
     extra_s: float = 0.2
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReplicaDegrade(FaultSpec):
+    """Gray failure: slow one replica to a named performance level.
+
+    ``level`` is a :data:`~repro.replica.PERFORMANCE_LEVELS` name (or a
+    float multiplier in ``(0, 1]``).  The replica stays *healthy*: it keeps
+    accepting requests and answering probes, but every prefill/decode step
+    stretches by ``1/scale`` -- so its pending queue inflates and
+    load-discounted routing can observe the slowness without any
+    crash signal.  ``duration_s=None`` degrades until an explicit
+    ``replica-restore`` event.
+    """
+
+    kind: str = "replica-degrade"
+    region: str = "us"
+    index: int = 0
+    level: str = "thermal-throttle"
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReplicaRestore(FaultSpec):
+    """Return a degraded replica to nominal compute rates."""
+
+    kind: str = "replica-restore"
+    region: str = "us"
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultSpec):
+    """Gray network failure on the ``a``<->``b`` link.
+
+    Adds a per-message ``loss_probability`` and an
+    ``extra_jitter_fraction`` (positive-only latency inflation, as a
+    fraction of the base one-way latency).  Loss draws come from the
+    network's own seeded fault RNG -- never the workload or jitter streams
+    -- so degraded runs stay deterministic per seed.  Probes are jittered
+    but never lost: a gray link looks slow, not partitioned.
+    """
+
+    kind: str = "link-degrade"
+    a: str = "us"
+    b: str = "eu"
+    loss_probability: float = 0.05
+    extra_jitter_fraction: float = 0.5
     duration_s: Optional[float] = None
 
 

@@ -1,0 +1,166 @@
+"""Seeded stochastic fault processes: MTBF/MTTR renewal chains.
+
+A :class:`RenewalFaultProcess` describes faults arriving as a renewal
+process -- exponential or Weibull interarrivals with mean ``mtbf_s``, each
+followed by a repair drawn with mean ``mttr_s``.  The process owns its own
+``random.Random`` stream, derived from ``(process seed, run seed)`` with
+the house ``zlib.crc32`` mixing rule, so:
+
+* faults never consume draws from the workload or network RNG streams
+  (installing a process does not perturb fault-free traffic),
+* the same ``(process, run seed, duration)`` always compiles to the same
+  concrete :class:`~repro.faults.schedule.FaultSchedule`, bit for bit,
+  serial or inside any sweep worker (fork *or* spawn),
+* different process seeds -- or different run seeds -- yield different
+  schedules, which is what makes cross-seed mean/CI resilience statistics
+  meaningful.
+
+Compilation happens once, eagerly, in ``run_experiment`` right before the
+injector is built; the simulation itself only ever sees a plain
+deterministic schedule.  A compiled-empty process (nothing fires within
+``duration_s``) behaves exactly like ``faults=None``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .schedule import CompilesToFaultSchedule, FaultEvent, FaultSchedule
+from .spec import FaultSpec
+
+__all__ = ["RenewalFaultProcess", "StochasticFaultSchedule"]
+
+_DISTRIBUTIONS = ("exponential", "weibull")
+
+
+@dataclass(frozen=True)
+class RenewalFaultProcess:
+    """One stochastic fault stream: a template fault fired on renewals.
+
+    Parameters
+    ----------
+    fault:
+        Template spec.  It must carry a ``duration_s`` field; each
+        occurrence is emitted as a copy with ``duration_s`` set to that
+        occurrence's drawn repair time (MTTR), so the fault heals itself.
+    mtbf_s / mttr_s:
+        Mean time between failures / to repair, in seconds.
+    seed:
+        The process's own RNG seed.  Mixed with the run seed at compile
+        time, so two processes in one scenario (or one process across
+        seeds) draw independent streams.
+    distribution:
+        ``"exponential"`` (memoryless) or ``"weibull"`` (shape > 1 models
+        wear-out clustering; shape < 1 infant mortality).
+    shape:
+        Weibull shape parameter (ignored for exponential).
+    start_s:
+        Earliest time the first failure may begin.
+    max_events:
+        Safety cap on occurrences per compile.
+    """
+
+    fault: FaultSpec
+    mtbf_s: float = 60.0
+    mttr_s: float = 10.0
+    seed: int = 0
+    distribution: str = "exponential"
+    shape: float = 1.5
+    start_s: float = 0.0
+    max_events: int = 1000
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fault, FaultSpec):
+            raise TypeError(
+                f"fault must be a FaultSpec, got {type(self.fault).__name__}"
+            )
+        if not any(f.name == "duration_s" for f in dataclasses.fields(self.fault)):
+            raise ValueError(
+                f"renewal template {self.fault.kind!r} has no duration_s "
+                "field; the process cannot schedule its repairs"
+            )
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; "
+                f"choose from {_DISTRIBUTIONS}"
+            )
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.max_events < 1:
+            raise ValueError("max_events must be at least 1")
+
+    # ------------------------------------------------------------------
+    def _rng(self, run_seed: int) -> random.Random:
+        token = f"renewal:{self.seed}:{run_seed}:{self.fault.kind}"
+        return random.Random(zlib.crc32(token.encode("utf-8")))
+
+    def _draw(self, rng: random.Random, mean: float) -> float:
+        if self.distribution == "weibull":
+            # Scale chosen so the Weibull mean equals ``mean``:
+            # E[X] = scale * Gamma(1 + 1/shape).
+            try:
+                from math import gamma
+
+                scale = mean / gamma(1.0 + 1.0 / self.shape)
+            except (OverflowError, ValueError):
+                scale = mean
+            return rng.weibullvariate(scale, self.shape)
+        return rng.expovariate(1.0 / mean)
+
+    def compile_events(self, duration_s: float, run_seed: int) -> List[FaultEvent]:
+        """The process's concrete occurrences for one run, in time order."""
+        rng = self._rng(run_seed)
+        events: List[FaultEvent] = []
+        t = self.start_s
+        while len(events) < self.max_events:
+            t += self._draw(rng, self.mtbf_s)
+            if t >= duration_s:
+                break
+            repair = self._draw(rng, self.mttr_s)
+            events.append(
+                FaultEvent(t, dataclasses.replace(self.fault, duration_s=repair))
+            )
+            t += repair
+        return events
+
+
+@dataclass(frozen=True)
+class StochasticFaultSchedule(CompilesToFaultSchedule):
+    """A bundle of renewal processes (plus optional fixed events).
+
+    Usable anywhere ``faults=`` is accepted: ``run_experiment`` compiles it
+    with the run's duration and seed right before injection.  ``base``
+    contributes fixed events and the controller knobs; process events are
+    appended in process order, and identical-time ties keep that order
+    (``FaultSchedule.sorted_events`` is stable).
+    """
+
+    processes: Tuple[RenewalFaultProcess, ...] = ()
+    base: FaultSchedule = field(default_factory=FaultSchedule)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "processes", tuple(self.processes))
+        for process in self.processes:
+            if not isinstance(process, RenewalFaultProcess):
+                raise TypeError(
+                    "processes must be RenewalFaultProcess instances, got "
+                    f"{type(process).__name__}"
+                )
+        if not isinstance(self.base, FaultSchedule):
+            raise TypeError(
+                f"base must be a FaultSchedule, got {type(self.base).__name__}"
+            )
+
+    def compile(self, *, duration_s: float, seed: int) -> FaultSchedule:
+        events = list(self.base.events)
+        for process in self.processes:
+            events.extend(process.compile_events(duration_s, seed))
+        return dataclasses.replace(self.base, events=tuple(events))

@@ -35,6 +35,14 @@ encodes one way that contract has been -- or could be -- broken silently:
     They are the sanctioned knob surface in ``experiments/`` and
     ``benchmarks/`` (the ``REPRO_BENCH_*`` family) and forbidden in the
     simulation core.
+``fault-applier-rng``
+    Fault appliers (functions decorated with ``@register_fault(...)``)
+    must not draw randomness from the global :mod:`random` module or from
+    another component's RNG stream (``something.rng`` / ``something._rng``)
+    -- either breaks the rule that stochastic fault timing lives in a
+    process-owned seeded ``random.Random`` compiled *before* the run
+    (``RenewalFaultProcess``), and stealing a component's stream perturbs
+    the draws fault-free traffic would have made.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ __all__ = [
     "BuiltinHashRule",
     "IdOrderingRule",
     "EnvironReadRule",
+    "FaultApplierRngRule",
 ]
 
 #: random-module functions that consume the hidden process-global RNG.
@@ -268,6 +277,70 @@ class EnvironReadRule(LintRule):
                 f"{what} read outside experiments/ and benchmarks/; pass "
                 "configuration explicitly so runs are self-describing",
             )
+
+
+@register_lint_rule
+class FaultApplierRngRule(LintRule):
+    name = "fault-applier-rng"
+    severity = ERROR
+    family = "determinism"
+    description = (
+        "fault appliers must not draw from the global random module or "
+        "another component's RNG stream; stochastic fault timing belongs "
+        "in a process-owned seeded random.Random compiled before the run"
+    )
+
+    #: Attribute names under which components conventionally hold their
+    #: own seeded stream -- drawing through one from an applier steals
+    #: draws from that component.
+    _STREAM_ATTRS = frozenset({"rng", "_rng", "_fault_rng"})
+
+    def _is_fault_applier(self, module: ModuleInfo, node: ast.AST) -> bool:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            qual = module.qualname(target)
+            if qual is not None and qual.split(".")[-1] == "register_fault":
+                return True
+        return False
+
+    def _check_applier(self, module: ModuleInfo, func: ast.AST) -> Iterable[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = module.qualname(node.func)
+            if qual is not None and qual.startswith("random."):
+                drawn = qual[len("random."):]
+                if drawn in _GLOBAL_RNG_FUNCS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"fault applier draws random.{drawn}() from the "
+                        "process-global RNG; compile stochastic timing into "
+                        "the schedule (RenewalFaultProcess) or own a seeded "
+                        "random.Random",
+                    )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _GLOBAL_RNG_FUNCS
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr in self._STREAM_ATTRS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "fault applier draws from another component's RNG "
+                    f"stream (.{node.func.value.attr}); that perturbs the "
+                    "draws fault-free traffic would have made -- own a "
+                    "seeded random.Random instead",
+                )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if self._is_fault_applier(module, node):
+                yield from self._check_applier(module, node)
 
 
 @register_lint_rule

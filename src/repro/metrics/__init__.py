@@ -5,6 +5,7 @@ tail latency)."""
 
 from .aggregate import (
     AGGREGATED_METRICS,
+    RESILIENCE_AGGREGATED_METRICS,
     AggregateMetrics,
     Statistic,
     SweepReport,
@@ -28,6 +29,7 @@ __all__ = [
     "TierUsage",
     "collect_memory_metrics",
     "AGGREGATED_METRICS",
+    "RESILIENCE_AGGREGATED_METRICS",
     "AggregateMetrics",
     "Statistic",
     "SweepReport",

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (collector imports no
 
 __all__ = [
     "AGGREGATED_METRICS",
+    "RESILIENCE_AGGREGATED_METRICS",
     "AggregateMetrics",
     "Statistic",
     "SweepReport",
@@ -179,6 +180,37 @@ AGGREGATED_METRICS: Dict[str, Callable[["RunMetrics"], float]] = {
 }
 
 
+def _resilience_field(name: str) -> Callable[["RunMetrics"], Optional[float]]:
+    def extract(metrics: "RunMetrics") -> Optional[float]:
+        resilience = metrics.resilience
+        if resilience is None:
+            return None
+        value = getattr(resilience, name)
+        return None if value is None else float(value)
+
+    return extract
+
+
+#: Resilience scalars aggregated across seeds *when present on every run of
+#: the cell*: fault-free runs have no resilience record, and e.g. a
+#: degraded-mode TTFT is undefined for a seed where no request was sent
+#: while degraded.  Such cells simply omit the stat -- existing reports
+#: over fault-free sweeps are unchanged.
+RESILIENCE_AGGREGATED_METRICS: Dict[str, Callable[["RunMetrics"], Optional[float]]] = {
+    "resilience_mean_ttr_s": _resilience_field("mean_time_to_recovery_s"),
+    "resilience_max_ttr_s": _resilience_field("max_time_to_recovery_s"),
+    "resilience_goodput_during_outage_tokens_per_s": _resilience_field(
+        "goodput_during_outage_tokens_per_s"
+    ),
+    "resilience_ttft_p90_during_s": _resilience_field("ttft_p90_during_s"),
+    "resilience_goodput_degraded_tokens_per_s": _resilience_field(
+        "goodput_while_degraded_tokens_per_s"
+    ),
+    "resilience_ttft_p90_degraded_s": _resilience_field("ttft_p90_degraded_s"),
+    "resilience_failed_requests": _resilience_field("failed_requests"),
+}
+
+
 @dataclass(frozen=True)
 class AggregateMetrics:
     """Mean/stdev/95% CI of every scalar metric of one (workload, system)
@@ -216,6 +248,10 @@ class AggregateMetrics:
             name: Statistic.from_samples([extract(m) for m in runs])
             for name, extract in AGGREGATED_METRICS.items()
         }
+        for name, extract in RESILIENCE_AGGREGATED_METRICS.items():
+            samples = [extract(m) for m in runs]
+            if all(value is not None for value in samples):
+                stats[name] = Statistic.from_samples(samples)
         return cls(
             system=runs[0].system,
             workload=runs[0].workload,
@@ -274,10 +310,14 @@ def paired_difference(
     :class:`Statistic` of ``metric(a) - metric(b)`` across seeds; the
     speedup claim "a beats b" holds at the 95% level when ``ci_low > 0``.
     """
-    if metric not in AGGREGATED_METRICS:
+    if metric in AGGREGATED_METRICS:
+        extract = AGGREGATED_METRICS[metric]
+    elif metric in RESILIENCE_AGGREGATED_METRICS:
+        extract = RESILIENCE_AGGREGATED_METRICS[metric]
+    else:
         raise ValueError(
             f"unknown metric {metric!r}; aggregated metrics: "
-            f"{tuple(AGGREGATED_METRICS)}"
+            f"{tuple(AGGREGATED_METRICS) + tuple(RESILIENCE_AGGREGATED_METRICS)}"
         )
     if set(runs_a) != set(runs_b):
         raise ValueError(
@@ -286,12 +326,16 @@ def paired_difference(
         )
     if not runs_a:
         raise ValueError("cannot pair empty run sets")
-    extract = AGGREGATED_METRICS[metric]
     seeds = list(runs_a)
-    return Statistic.paired_diff(
-        [extract(runs_a[seed]) for seed in seeds],
-        [extract(runs_b[seed]) for seed in seeds],
-    )
+    samples_a = [extract(runs_a[seed]) for seed in seeds]
+    samples_b = [extract(runs_b[seed]) for seed in seeds]
+    missing = [s for s, a, b in zip(seeds, samples_a, samples_b) if a is None or b is None]
+    if missing:
+        raise ValueError(
+            f"metric {metric!r} is undefined for seeds {sorted(missing)} "
+            "(no resilience record, or an empty phase)"
+        )
+    return Statistic.paired_diff(samples_a, samples_b)
 
 
 def aggregate_cell(
@@ -334,11 +378,19 @@ class SweepReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def format_table(self) -> str:
-        """Aligned text table: one row per (workload, system) cell."""
+        """Aligned text table: one row per (workload, system) cell.
+
+        A cross-seed time-to-recovery column appears when any cell carries
+        the ``resilience_mean_ttr_s`` aggregate (faulted multi-seed
+        sweeps); fault-free sweeps keep the historical columns exactly.
+        """
+        with_ttr = any("resilience_mean_ttr_s" in cell.stats for cell in self.cells)
         header = (
             f"  {'workload':<16}{'system':<18}{'seeds':>6}"
             f"{'tput tok/s':>18}{'ttft p50 (s)':>16}{'hit rate':>14}"
         )
+        if with_ttr:
+            header += f"{'ttr (s)':>16}"
         lines = [header]
 
         def fmt(stat: Statistic, scale: float = 1.0, digits: int = 1) -> str:
@@ -347,10 +399,14 @@ class SweepReport:
             return f"{stat.mean * scale:.{digits}f}±{stat.ci95 * scale:.{digits}f}"
 
         for cell in self.cells:
-            lines.append(
+            row = (
                 f"  {cell.workload:<16}{cell.system:<18}{cell.num_seeds:>6}"
                 f"{fmt(cell.stat('throughput_tokens_per_s')):>18}"
                 f"{fmt(cell.stat('ttft_p50'), digits=3):>16}"
                 f"{fmt(cell.stat('cache_hit_rate'), scale=100.0):>13}%"
             )
+            if with_ttr:
+                ttr = cell.stats.get("resilience_mean_ttr_s")
+                row += f"{fmt(ttr, digits=2):>16}" if ttr is not None else f"{'-':>16}"
+            lines.append(row)
         return "\n".join(lines)

@@ -64,6 +64,18 @@ class ResilienceMetrics:
     ttft_p90_before_s: Optional[float] = None
     ttft_p90_during_s: Optional[float] = None
     ttft_p90_after_s: Optional[float] = None
+    #: ``(start, end)`` of each *gray* (degraded, slow-but-alive) window,
+    #: clipped to the run.  Kept separate from outage windows: a degraded
+    #: system still serves, so these windows report goodput and tail
+    #: latency rather than downtime.
+    degraded_windows: List[Tuple[float, float]] = field(default_factory=list)
+    #: Completed requests sent while some degrade was active.
+    completed_degraded: int = 0
+    #: Served tokens per second of requests finishing inside degraded
+    #: windows (degraded-mode goodput).
+    goodput_while_degraded_tokens_per_s: Optional[float] = None
+    #: Client-perceived p90 TTFT of requests sent while degraded.
+    ttft_p90_degraded_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -84,6 +96,10 @@ class ResilienceMetrics:
             "ttft_p90_before_s": self.ttft_p90_before_s,
             "ttft_p90_during_s": self.ttft_p90_during_s,
             "ttft_p90_after_s": self.ttft_p90_after_s,
+            "degraded_windows": [list(window) for window in self.degraded_windows],
+            "completed_degraded": self.completed_degraded,
+            "goodput_while_degraded_tokens_per_s": self.goodput_while_degraded_tokens_per_s,
+            "ttft_p90_degraded_s": self.ttft_p90_degraded_s,
         }
 
     def format_row(self) -> str:
@@ -92,7 +108,7 @@ class ResilienceMetrics:
         def opt(value: Optional[float], fmt: str = "6.3f") -> str:
             return "     -" if value is None else format(value, fmt)
 
-        return (
+        row = (
             f"failovers={self.failover_count}  "
             f"ttr={opt(self.mean_time_to_recovery_s, '5.1f')}s  "
             f"outage goodput={opt(self.goodput_during_outage_tokens_per_s, '8.1f')} tok/s  "
@@ -102,10 +118,27 @@ class ResilienceMetrics:
             f"stranded={self.stranded_requests} parked={self.parked_requests} "
             f"failed={self.failed_requests}"
         )
+        if self.degraded_windows:
+            row += (
+                f"  degraded: ttft p90={opt(self.ttft_p90_degraded_s)}s "
+                f"goodput={opt(self.goodput_while_degraded_tokens_per_s, '8.1f')} tok/s "
+                f"({len(self.degraded_windows)} windows)"
+            )
+        return row
 
 
 def _p90(values: Sequence[float]) -> Optional[float]:
     return percentile(list(values), 90.0) if values else None
+
+
+def _clip_windows(
+    windows: Sequence[Tuple[float, float]], duration_s: float
+) -> List[Tuple[float, float]]:
+    return sorted(
+        (max(0.0, start), min(duration_s, end))
+        for start, end in windows
+        if min(duration_s, end) > max(0.0, start)
+    )
 
 
 def collect_resilience_metrics(
@@ -115,6 +148,7 @@ def collect_resilience_metrics(
     outage_windows: Sequence[Tuple[float, float]],
     num_fault_events: int,
     failover_count: int,
+    degraded_windows: Sequence[Tuple[float, float]] = (),
     stranded_requests: int = 0,
     parked_requests: int = 0,
     failed_requests: int = 0,
@@ -126,30 +160,53 @@ def collect_resilience_metrics(
     (already resolved by the injector; unrecovered outages end at
     ``duration_s``).  Windows are clipped to ``[0, duration_s]`` and the
     before/during/after phases span from the earliest start to the latest
-    end.
+    end.  ``degraded_windows`` are gray (slow-but-alive) periods: requests
+    *sent* inside any of them feed the degraded-mode goodput and p90 TTFT,
+    independently of the hard-outage phase classification.
     """
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
-    windows = sorted(
-        (max(0.0, start), min(duration_s, end))
-        for start, end in outage_windows
-        if min(duration_s, end) > max(0.0, start)
-    )
+    windows = _clip_windows(outage_windows, duration_s)
+    gray = _clip_windows(degraded_windows, duration_s)
 
     metrics = ResilienceMetrics(
         num_fault_events=num_fault_events,
         failover_count=failover_count,
         outage_windows=list(windows),
+        degraded_windows=list(gray),
         stranded_requests=stranded_requests,
         parked_requests=parked_requests,
         failed_requests=failed_requests,
         dropped_messages=dropped_messages,
     )
 
-    recovery_times = [end - start for start, end in windows]
+    recovery_times = [end - start for start, end in windows] + [
+        end - start for start, end in gray
+    ]
     if recovery_times:
         metrics.mean_time_to_recovery_s = sum(recovery_times) / len(recovery_times)
         metrics.max_time_to_recovery_s = max(recovery_times)
+
+    if gray:
+        degraded_ttfts: List[float] = []
+        degraded_tokens = 0
+        degraded_time = sum(end - start for start, end in gray)
+        for request in completed:
+            sent = request.sent_time if request.sent_time is not None else 0.0
+            if any(start <= sent <= end for start, end in gray):
+                metrics.completed_degraded += 1
+                if request.ttft is not None:
+                    degraded_ttfts.append(request.ttft)
+            finish = request.finish_time
+            if finish is not None and any(
+                start <= finish <= end for start, end in gray
+            ):
+                degraded_tokens += request.prompt_len + request.generated_tokens
+        if degraded_time > 0:
+            metrics.goodput_while_degraded_tokens_per_s = (
+                degraded_tokens / degraded_time
+            )
+        metrics.ttft_p90_degraded_s = _p90(degraded_ttfts)
 
     if not windows:
         metrics.completed_before = len(completed)

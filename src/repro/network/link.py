@@ -11,6 +11,7 @@ expensive than SkyWalker's two-layer design.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..sim import Environment, Store
@@ -33,16 +34,22 @@ class Network:
         self.env = env
         self.topology = topology
         self.jitter_fraction = jitter_fraction
+        self.seed = seed
         self._rng = random.Random(seed)
         # Traffic accounting (useful for the architecture ablation).
         self.messages_sent = 0
         self.cross_region_messages = 0
         self.probe_count = 0
         # Link-fault state (driven by repro.faults): blocked directed links
-        # drop messages, extra latency models congestion spikes.  Both start
-        # empty so fault-free runs take byte-identical code paths.
+        # drop messages, extra latency models congestion spikes, and gray
+        # degrades add loss probability / extra jitter.  All start empty so
+        # fault-free runs take byte-identical code paths; the fault RNG is
+        # created lazily on the first degrade so fault-free runs draw nothing.
         self._blocked_links: Dict[Tuple[str, str], int] = {}
         self._extra_latency: Dict[Tuple[str, str], float] = {}
+        self._link_loss: Dict[Tuple[str, str], float] = {}
+        self._link_extra_jitter: Dict[Tuple[str, str], float] = {}
+        self._fault_rng: Optional[random.Random] = None
         self.dropped_messages = 0
 
     # ------------------------------------------------------------------
@@ -88,9 +95,120 @@ class Network:
             else:
                 self._extra_latency[pair] = extra_s
 
+    def add_link_extra_latency(
+        self, src: str, dst: str, extra_s: float, *, symmetric: bool = True
+    ) -> None:
+        """Add a latency-spike *contribution* to a link.
+
+        Contributions from overlapping faults sum; each fault later removes
+        exactly what it added (:meth:`remove_link_extra_latency`), so spikes
+        compose instead of clobbering each other."""
+        if extra_s < 0:
+            raise ValueError("extra latency must be non-negative")
+        if extra_s == 0:
+            return
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            self._extra_latency[pair] = self._extra_latency.get(pair, 0.0) + extra_s
+
+    def remove_link_extra_latency(
+        self, src: str, dst: str, extra_s: float, *, symmetric: bool = True
+    ) -> None:
+        """Remove a contribution previously added with
+        :meth:`add_link_extra_latency` (clamped at zero)."""
+        if extra_s <= 0:
+            return
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            remaining = self._extra_latency.get(pair, 0.0) - extra_s
+            if remaining <= 1e-12:
+                self._extra_latency.pop(pair, None)
+            else:
+                self._extra_latency[pair] = remaining
+
     def link_extra_latency(self, src: str, dst: str) -> float:
         """The current latency-spike surcharge on ``src -> dst``."""
         return self._extra_latency.get((src, dst), 0.0)
+
+    # ------------------------------------------------------------------
+    # gray link degrades (loss probability + extra jitter)
+    # ------------------------------------------------------------------
+    def _ensure_fault_rng(self) -> random.Random:
+        if self._fault_rng is None:
+            # Derived from the network seed but independent of the jitter
+            # stream: installing a degrade must not shift the draws that
+            # fault-free traffic would have made.
+            self._fault_rng = random.Random(
+                zlib.crc32(f"link-faults:{self.seed}".encode("utf-8"))
+            )
+        return self._fault_rng
+
+    def add_link_degrade(
+        self,
+        src: str,
+        dst: str,
+        *,
+        loss_probability: float = 0.0,
+        extra_jitter_fraction: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Degrade a link: per-message loss probability and extra jitter.
+
+        Contributions from overlapping degrades are additive (loss is
+        clamped to 1.0 when drawn).  Probes feel the jitter but are never
+        lost -- a gray link looks slow, not dead."""
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        if extra_jitter_fraction < 0:
+            raise ValueError("extra jitter fraction must be non-negative")
+        self._ensure_fault_rng()
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            if loss_probability:
+                self._link_loss[pair] = (
+                    self._link_loss.get(pair, 0.0) + loss_probability
+                )
+            if extra_jitter_fraction:
+                self._link_extra_jitter[pair] = (
+                    self._link_extra_jitter.get(pair, 0.0) + extra_jitter_fraction
+                )
+
+    def remove_link_degrade(
+        self,
+        src: str,
+        dst: str,
+        *,
+        loss_probability: float = 0.0,
+        extra_jitter_fraction: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Remove a degrade contribution previously added with
+        :meth:`add_link_degrade` (clamped at zero)."""
+        pairs = [(src, dst)] + ([(dst, src)] if symmetric else [])
+        for pair in pairs:
+            for table, amount in (
+                (self._link_loss, loss_probability),
+                (self._link_extra_jitter, extra_jitter_fraction),
+            ):
+                if amount <= 0:
+                    continue
+                remaining = table.get(pair, 0.0) - amount
+                if remaining <= 1e-12:
+                    table.pop(pair, None)
+                else:
+                    table[pair] = remaining
+
+    def link_loss_probability(self, src: str, dst: str) -> float:
+        """Current per-message loss probability on ``src -> dst``."""
+        return min(1.0, self._link_loss.get((src, dst), 0.0))
+
+    def _message_lost(self, src: str, dst: str) -> bool:
+        if not self._link_loss:
+            return False
+        loss = min(1.0, self._link_loss.get((src, dst), 0.0))
+        if loss <= 0.0:
+            return False
+        return self._ensure_fault_rng().random() < loss
 
     # ------------------------------------------------------------------
     def sample_one_way(self, src: str, dst: str) -> float:
@@ -98,6 +216,13 @@ class Network:
         base = self.topology.one_way(src, dst)
         if self._extra_latency:
             base += self._extra_latency.get((src, dst), 0.0)
+        if self._link_extra_jitter:
+            # Degrade jitter only ever inflates (congestion variance), and
+            # draws from the fault RNG so the nominal jitter stream is
+            # untouched by the degrade being installed.
+            extra = self._link_extra_jitter.get((src, dst), 0.0)
+            if extra > 0:
+                base += self._ensure_fault_rng().uniform(0.0, base * extra)
         if self.jitter_fraction <= 0:
             return base
         jitter = base * self.jitter_fraction
@@ -124,6 +249,9 @@ class Network:
         if (src, dst) in self._blocked_links:
             self.dropped_messages += 1
             return
+        if self._message_lost(src, dst):
+            self.dropped_messages += 1
+            return
         delay = self.sample_one_way(src, dst) + extra_delay
         self.env.process(self._deliver_later(delay, item, inbox))
 
@@ -137,6 +265,9 @@ class Network:
         if src != dst:
             self.cross_region_messages += 1
         if (src, dst) in self._blocked_links:
+            self.dropped_messages += 1
+            return
+        if self._message_lost(src, dst):
             self.dropped_messages += 1
             return
         delay = self.sample_one_way(src, dst)

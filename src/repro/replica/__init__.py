@@ -12,8 +12,10 @@ from .memory import AdmissionGrant, KVMemoryManager
 from .model_profile import (
     LLAMA_8B_A100,
     LLAMA_8B_L4,
+    PERFORMANCE_LEVELS,
     TINY_TEST_PROFILE,
     ModelProfile,
+    resolve_performance_scale,
 )
 from .server import ReplicaServer, ReplicaStats
 
@@ -30,6 +32,8 @@ __all__ = [
     "LLAMA_8B_L4",
     "LLAMA_8B_A100",
     "TINY_TEST_PROFILE",
+    "PERFORMANCE_LEVELS",
+    "resolve_performance_scale",
     "ReplicaServer",
     "ReplicaStats",
 ]

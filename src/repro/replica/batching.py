@@ -73,6 +73,11 @@ class ContinuousBatcher:
         self.memory = KVMemoryManager(
             profile, enable_prefix_cache=enable_prefix_cache, memory=memory
         )
+        #: Compute-rate multiplier for gray failures (1.0 = nominal).  A
+        #: degraded replica still answers probes and accepts work; only its
+        #: compute time stretches by 1/scale.  Promotion stalls are transfer
+        #: time, not GPU compute, so they are left unscaled.
+        self.performance_scale: float = 1.0
         self.waiting: Deque[Request] = deque()
         self.running: List[RunningSequence] = []
         self._by_id: Dict[int, RunningSequence] = {}
@@ -200,9 +205,12 @@ class ContinuousBatcher:
                 seq.new_prompt_tokens - seq.grant.promoted_tokens for seq in admitted
             )
             stall = sum(seq.grant.promotion_stall_s for seq in admitted)
+            compute = self.profile.prefill_time(new_tokens)
+            if self.performance_scale != 1.0:
+                compute /= self.performance_scale
             return StepPlan(
                 kind="prefill",
-                duration=self.profile.prefill_time(new_tokens) + stall,
+                duration=compute + stall,
                 admitted=admitted,
             )
         if self.running:
@@ -210,10 +218,10 @@ class ContinuousBatcher:
             # memory manager's running total IS this batch's context size —
             # no per-sequence recount on the decode hot path.
             context = self.memory.context_tokens_total
-            return StepPlan(
-                kind="decode",
-                duration=self.profile.decode_step_time(len(self.running), context),
-            )
+            compute = self.profile.decode_step_time(len(self.running), context)
+            if self.performance_scale != 1.0:
+                compute /= self.performance_scale
+            return StepPlan(kind="decode", duration=compute)
         return StepPlan(kind="idle")
 
     def complete_prefill(self, admitted: List[RunningSequence], now: float) -> List[Request]:

@@ -19,10 +19,50 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ModelProfile", "LLAMA_8B_L4", "LLAMA_8B_A100", "TINY_TEST_PROFILE"]
+__all__ = [
+    "ModelProfile",
+    "LLAMA_8B_L4",
+    "LLAMA_8B_A100",
+    "TINY_TEST_PROFILE",
+    "PERFORMANCE_LEVELS",
+    "resolve_performance_scale",
+]
 
 GiB = 1024 ** 3
 KiB = 1024
+
+#: Named performance levels for gray-failure (slow-but-alive) replicas.
+#: The values are compute-rate multipliers: a replica at ``thermal-throttle``
+#: runs prefill/decode compute at 55% of nominal speed.  The names mirror the
+#: frequency-control knobs exposed by tools like pepc (P-states, uncore
+#: frequency, RAPL power caps) without modelling the hardware itself.
+PERFORMANCE_LEVELS = {
+    "nominal": 1.0,
+    "uncore-degraded": 0.85,
+    "power-cap": 0.72,
+    "thermal-throttle": 0.55,
+    "p-state-floor": 0.40,
+}
+
+
+def resolve_performance_scale(level) -> float:
+    """Resolve a performance level to a compute-rate multiplier.
+
+    ``level`` may be one of the :data:`PERFORMANCE_LEVELS` names or a float
+    in ``(0, 1]`` for an explicit multiplier.
+    """
+    if isinstance(level, str):
+        try:
+            return PERFORMANCE_LEVELS[level]
+        except KeyError:
+            raise ValueError(
+                f"unknown performance level {level!r}; "
+                f"known: {sorted(PERFORMANCE_LEVELS)}"
+            ) from None
+    scale = float(level)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError(f"performance scale must be in (0, 1], got {scale}")
+    return scale
 
 
 @dataclass(frozen=True)

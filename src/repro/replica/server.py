@@ -17,7 +17,7 @@ from ..mem import MemoryConfig
 from ..sim import Environment, Interrupt, Store
 from ..workloads.request import Request, RequestStatus
 from .batching import ContinuousBatcher
-from .model_profile import LLAMA_8B_L4, ModelProfile
+from .model_profile import LLAMA_8B_L4, ModelProfile, resolve_performance_scale
 
 __all__ = ["ReplicaServer", "ReplicaStats"]
 
@@ -90,6 +90,14 @@ class ReplicaServer:
         self.stats = ReplicaStats()
         self.record_utilization = record_utilization
         self.healthy = True
+        # Gray-failure state: a degraded replica stays healthy and keeps
+        # serving, just slower.  ``_degrade_until is None`` means "until an
+        # explicit restore"; the epoch counter guards against a stale timed
+        # restore clobbering a newer degrade.
+        self._degrade_level: Optional[str] = None
+        self._degrade_scale: float = 1.0
+        self._degrade_until: Optional[float] = None
+        self._degrade_epoch: int = 0
         self._on_first_token: List[RequestCallback] = []
         self._on_complete: List[RequestCallback] = []
         self._on_health: List[Callable[["ReplicaServer"], None]] = []
@@ -166,12 +174,69 @@ class ReplicaServer:
             new_tiers = self.batcher.memory.tiers
             if new_tiers is not None:
                 new_tiers.restore_tier("disk", old_tiers.export_tier("disk"), self.env.now)
+        # Degrade/crash precedence: a restart clears transient slowness (the
+        # replacement engine comes up at full rate) UNLESS the degrade window
+        # is still open -- an environmental cause (thermal, power cap) outlasts
+        # the process, so it re-applies to the fresh batcher.
+        if self._degrade_scale != 1.0 and (
+            self._degrade_until is None or self.env.now < self._degrade_until
+        ):
+            self.batcher.performance_scale = self._degrade_scale
+        else:
+            self._clear_degrade()
         # A fresh inbox: the crashed serving loop may have left an orphaned
         # get() registered on the old store, which would silently swallow the
         # first request delivered after recovery.
         self.inbox = Store(self.env)
         self._process = self.env.process(self._run())
         self._emit_health_change()
+
+    # ------------------------------------------------------------------
+    # gray failures (slow-but-alive)
+    # ------------------------------------------------------------------
+    @property
+    def performance_level(self) -> Optional[str]:
+        """Name of the active degrade level, ``None`` when nominal."""
+        return self._degrade_level
+
+    @property
+    def performance_scale(self) -> float:
+        """Current compute-rate multiplier (1.0 = nominal)."""
+        return self._degrade_scale
+
+    def set_performance_level(self, level, *, until: Optional[float] = None) -> int:
+        """Degrade the replica to ``level`` (a name or a float in (0, 1]).
+
+        The replica stays healthy and keeps accepting work; only compute
+        stretches.  ``until`` records when a timed degrade is scheduled to
+        lift (used by crash-recovery precedence).  Returns an epoch token to
+        pass to :meth:`restore_performance` so a stale timed restore cannot
+        clobber a newer degrade.  Works on unhealthy replicas too: the level
+        is remembered and applied when (if) the crash recovery keeps it.
+        """
+        scale = resolve_performance_scale(level)
+        self._degrade_level = level if isinstance(level, str) else None
+        self._degrade_scale = scale
+        self._degrade_until = until
+        self._degrade_epoch += 1
+        self.batcher.performance_scale = scale
+        return self._degrade_epoch
+
+    def restore_performance(self, token: Optional[int] = None) -> None:
+        """Return to nominal rates.
+
+        With ``token``, only restores if no newer degrade has been applied
+        since the token was issued; ``None`` forces the restore.
+        """
+        if token is not None and token != self._degrade_epoch:
+            return
+        self._clear_degrade()
+
+    def _clear_degrade(self) -> None:
+        self._degrade_level = None
+        self._degrade_scale = 1.0
+        self._degrade_until = None
+        self.batcher.performance_scale = 1.0
 
     # ------------------------------------------------------------------
     # probe interface (observable load signals)

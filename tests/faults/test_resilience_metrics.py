@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.metrics import ResilienceMetrics, collect_resilience_metrics
+from repro.metrics.summary import percentile
 
 from ..conftest import make_request
 
@@ -127,3 +128,77 @@ def test_to_dict_round_trips_through_json():
     # ResilienceMetrics is a plain dataclass: equal payloads compare equal,
     # which is what the serial-vs-parallel identity checks rely on.
     assert isinstance(metrics, ResilienceMetrics)
+
+# ----------------------------------------------------------------------
+# gray (degraded) windows
+# ----------------------------------------------------------------------
+def test_degraded_windows_hand_computed():
+    # One gray window [10, 30] in a 40 s run, no hard outage.
+    #   r1: sent 5,  ft 6,  finish 7   -> nominal
+    #   r2: sent 12, ft 16, finish 25  -> degraded, ttft 4.0, finishes in-window
+    #   r3: sent 28, ft 29, finish 35  -> degraded (sent in-window), ttft 1.0,
+    #                                     but finishes after: no goodput tokens
+    r1 = finished_request(5.0, 6.0, 7.0)
+    r2 = finished_request(12.0, 16.0, 25.0, prompt_len=30, generated=10)
+    r3 = finished_request(28.0, 29.0, 35.0)
+    metrics = collect_resilience_metrics(
+        completed=[r1, r2, r3],
+        duration_s=40.0,
+        outage_windows=[],
+        degraded_windows=[(10.0, 30.0)],
+        num_fault_events=1,
+        failover_count=0,
+    )
+    # No hard outage: the legacy phases degenerate to "everything before"...
+    assert metrics.outage_windows == []
+    assert metrics.completed_before == 3
+    assert metrics.goodput_during_outage_tokens_per_s is None
+    # ...while the gray channel reports the degraded experience.
+    assert metrics.degraded_windows == [(10.0, 30.0)]
+    assert metrics.completed_degraded == 2
+    # Only r2 finishes inside the window: (30 + 10) tokens / 20 s.
+    assert metrics.goodput_while_degraded_tokens_per_s == pytest.approx(2.0)
+    assert metrics.ttft_p90_degraded_s == pytest.approx(percentile([4.0, 1.0], 90.0))
+    # Degrade windows count toward TTR (time until full service returns).
+    assert metrics.mean_time_to_recovery_s == pytest.approx(20.0)
+    assert "degraded:" in metrics.format_row()
+
+
+def test_outage_and_degraded_windows_are_independent_channels():
+    # Outage [5, 10], gray [15, 25]: one request in each.
+    r_outage = finished_request(7.0, 8.0, 9.0)
+    r_gray = finished_request(18.0, 19.0, 20.0)
+    metrics = collect_resilience_metrics(
+        completed=[r_outage, r_gray],
+        duration_s=40.0,
+        outage_windows=[(5.0, 10.0)],
+        degraded_windows=[(15.0, 25.0)],
+        num_fault_events=2,
+        failover_count=0,
+    )
+    assert metrics.completed_during == 1   # send-time inside the outage span
+    assert metrics.completed_degraded == 1
+    # TTR averages the outage (5 s) and the gray repair (10 s).
+    assert metrics.mean_time_to_recovery_s == pytest.approx(7.5)
+    assert metrics.max_time_to_recovery_s == pytest.approx(10.0)
+
+
+def test_degraded_windows_clip_and_empty_payload_is_stable():
+    metrics = collect_resilience_metrics(
+        completed=[],
+        duration_s=40.0,
+        outage_windows=[],
+        degraded_windows=[(35.0, 90.0), (50.0, 60.0)],
+        num_fault_events=1,
+        failover_count=0,
+    )
+    assert metrics.degraded_windows == [(35.0, 40.0)]
+    # A window with zero completions really did serve nothing: 0.0, not
+    # None ("not applicable") -- the distinction the CI columns rely on.
+    assert metrics.goodput_while_degraded_tokens_per_s == 0.0
+    assert metrics.ttft_p90_degraded_s is None
+    # The gray keys are always present in the payload (serial/parallel
+    # comparisons hash the full dict), defaulting to empty/None/zero.
+    payload = metrics.to_dict()
+    assert payload["degraded_windows"] == [[35.0, 40.0]]
+    assert payload["completed_degraded"] == 0

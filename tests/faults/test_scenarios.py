@@ -1,0 +1,123 @@
+"""The named chaos-scenario library: every entry resolves, runs, heals."""
+
+import pytest
+
+from repro.faults import (
+    CompilesToFaultSchedule,
+    FaultSchedule,
+    StochasticFaultSchedule,
+    make_fault_schedule,
+    registered_fault_schedules,
+    registered_faults,
+    resolve_fault_schedule,
+)
+from repro.faults.scenarios import DEFAULT_REGIONS
+
+from .test_injector import run_faulted
+
+EXPECTED_SCENARIOS = {
+    "eu-balancer-outage",
+    "rolling-upgrade",
+    "zone-outage-correlated",
+    "region-partition-flap",
+    "thermal-throttle",
+    "power-cap-region",
+    "slow-replica-epidemic",
+    "flash-crowd-throttle",
+    "lossy-wan",
+    "wan-brownout",
+    "gray-failure-mix",
+    "spot-eviction-wave",
+    "replica-crash-storm",
+    "gray-throttle-renewal",
+}
+
+
+def test_library_contains_the_advertised_scenarios():
+    assert EXPECTED_SCENARIOS <= set(registered_fault_schedules())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SCENARIOS))
+def test_every_scenario_compiles_to_known_fault_kinds(name):
+    """Each entry resolves by name, compiles to a concrete schedule, and
+    only references registered fault kinds and default-topology regions --
+    i.e. it will pass injector validation against the standard cluster."""
+    schedule = resolve_fault_schedule(name)
+    assert isinstance(schedule, (FaultSchedule, CompilesToFaultSchedule))
+    compiled = schedule.compile(duration_s=600.0, seed=0)
+    assert isinstance(compiled, FaultSchedule)
+    assert not compiled.is_empty
+    known_kinds = set(registered_faults())
+    for event in compiled.sorted_events():
+        assert event.fault.kind in known_kinds
+        assert event.at_s >= 0.0
+        for attr in ("region", "a", "b"):
+            value = getattr(event.fault, attr, None)
+            if value is not None:
+                assert value in DEFAULT_REGIONS
+
+
+def test_scenarios_take_keyword_overrides():
+    schedule = make_fault_schedule("thermal-throttle", at_s=3.0, duration_s=4.0)
+    (event,) = schedule.events
+    assert event.at_s == 3.0
+    assert event.fault.duration_s == 4.0
+    storm = make_fault_schedule("replica-crash-storm", mtbf_s=5.0, region="eu")
+    assert isinstance(storm, StochasticFaultSchedule)
+    assert storm.processes[0].fault.region == "eu"
+
+
+def test_rolling_upgrade_staggers_one_replica_at_a_time():
+    schedule = resolve_fault_schedule("rolling-upgrade")
+    events = schedule.sorted_events()
+    assert len(events) == len(DEFAULT_REGIONS)
+    # Windows never overlap: each drain ends before the next begins.
+    for prev, cur in zip(events, events[1:]):
+        assert prev.at_s + prev.fault.duration_s < cur.at_s
+    result = run_faulted("skywalker", "rolling-upgrade", duration=60.0)
+    assert len(result.metrics.resilience.outage_windows) == len(DEFAULT_REGIONS)
+    assert all(replica.healthy for replica in result.deployment.replicas)
+
+
+def test_zone_outage_takes_replica_and_balancer_down_together():
+    result = run_faulted("skywalker", "zone-outage-correlated", duration=60.0)
+    resilience = result.metrics.resilience
+    assert resilience.failover_count == 1
+    # Replica and balancer windows open at the same instant.
+    assert len(resilience.outage_windows) == 2
+    assert all(start == pytest.approx(20.0) for start, _ in resilience.outage_windows)
+
+
+def test_wan_brownout_composes_spike_and_degrade_on_one_edge():
+    result = run_faulted("skywalker", "wan-brownout", duration=50.0)
+    net = result.injector.network
+    # Both the spike and the degrade healed without clobbering each other
+    # despite firing at the identical timestamp on the identical edge.
+    assert net.link_extra_latency("us", "eu") == 0.0
+    assert net.link_loss_probability("us", "eu") == 0.0
+    assert not net.link_blocked("us", "eu")
+    resilience = result.metrics.resilience
+    assert resilience.outage_windows == [pytest.approx((12.0, 37.0))]
+    assert resilience.degraded_windows == [pytest.approx((12.0, 37.0))]
+
+
+def test_gray_failure_mix_merges_component_scenarios():
+    schedule = resolve_fault_schedule("gray-failure-mix")
+    kinds = sorted(schedule.kinds())
+    assert kinds == ["link-degrade", "link-latency-spike", "replica-degrade"]
+    result = run_faulted("skywalker", "gray-failure-mix", duration=60.0)
+    resilience = result.metrics.resilience
+    # Two gray windows (slow replica + lossy link) and one spike outage.
+    assert len(resilience.degraded_windows) == 2
+    assert len(resilience.outage_windows) == 1
+    assert resilience.failed_requests == 0
+
+
+def test_slow_replica_epidemic_spreads_over_time():
+    schedule = resolve_fault_schedule("slow-replica-epidemic")
+    events = schedule.sorted_events()
+    assert len(events) == len(DEFAULT_REGIONS)
+    assert all(event.fault.kind == "replica-degrade" for event in events)
+    starts = [event.at_s for event in events]
+    assert starts == sorted(starts)
+    assert len(set(starts)) == len(starts)  # staggered, not simultaneous

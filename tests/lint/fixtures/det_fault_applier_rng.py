@@ -1,0 +1,32 @@
+"""Fixture: fault-applier-rng.  `# LINT: <rule>` marks expected findings."""
+
+import random
+
+from repro.faults import register_fault
+
+
+@register_fault("jittery-crash")
+def apply_jittery_crash(spec, ctx, record):
+    delay = random.uniform(0.0, 1.0)  # LINT: fault-applier-rng, unseeded-random
+    flip = random.random()  # LINT: fault-applier-rng, unseeded-random
+    return delay + flip
+
+
+@register_fault("stream-stealer")
+def apply_stream_stealer(spec, ctx, record):
+    jitter = ctx.network._rng.uniform(0.0, 0.1)  # LINT: fault-applier-rng
+    wobble = ctx.network.rng.expovariate(2.0)  # LINT: fault-applier-rng
+    return jitter + wobble
+
+
+# -- known-good ---------------------------------------------------------
+@register_fault("owned-stream")
+def apply_owned_stream(spec, ctx, record):
+    rng = random.Random(spec.seed)
+    return rng.uniform(0.0, 1.0)
+
+
+def not_an_applier(network):
+    # The same attribute-chain draw outside a fault applier is another
+    # rule's business (or legitimately the component's own code).
+    return network._rng.uniform(0.0, 0.1)

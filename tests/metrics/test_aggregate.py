@@ -249,3 +249,68 @@ def test_paired_difference_validates_seeds_and_metric():
         paired_difference(runs_a, {1: runs_b[2]}, "vibes")
     with pytest.raises(ValueError, match="empty"):
         paired_difference({}, {})
+
+
+# ----------------------------------------------------------------------
+# resilience aggregation across seeds
+# ----------------------------------------------------------------------
+def make_resilient_run(ttr, seed, *, degraded_p90=None, workload="wl", system="sys"):
+    from repro.metrics import ResilienceMetrics
+
+    run = make_run(100.0, 0.1, seed=seed, workload=workload, system=system)
+    run.resilience = ResilienceMetrics(
+        num_fault_events=1,
+        failover_count=0,
+        mean_time_to_recovery_s=ttr,
+        max_time_to_recovery_s=ttr,
+        ttft_p90_degraded_s=degraded_p90,
+    )
+    return run
+
+
+def test_resilience_stats_appear_when_defined_for_all_runs():
+    from repro.metrics import RESILIENCE_AGGREGATED_METRICS
+
+    runs = [make_resilient_run(ttr, seed) for seed, ttr in [(1, 4.0), (2, 6.0)]]
+    aggregate = AggregateMetrics.from_runs(runs)
+    stat = aggregate.stats["resilience_mean_ttr_s"]
+    assert stat.mean == pytest.approx(5.0)
+    # Degraded p90 was None on every run: the stat is omitted, not 0.
+    assert "resilience_ttft_p90_degraded_s" not in aggregate.stats
+    assert set(RESILIENCE_AGGREGATED_METRICS) & set(aggregate.stats) == {
+        "resilience_mean_ttr_s",
+        "resilience_max_ttr_s",
+        "resilience_failed_requests",
+    }
+
+
+def test_resilience_stats_absent_for_fault_free_cells():
+    runs = [make_run(100.0, 0.1, seed=s) for s in (1, 2)]
+    aggregate = AggregateMetrics.from_runs(runs)
+    assert not any(name.startswith("resilience_") for name in aggregate.stats)
+
+
+def test_paired_difference_on_resilience_metrics():
+    from repro.metrics import paired_difference
+
+    runs_a = {s: make_resilient_run(ttr, s) for s, ttr in [(1, 10.0), (2, 12.0)]}
+    runs_b = {s: make_resilient_run(ttr, s) for s, ttr in [(1, 4.0), (2, 6.0)]}
+    stat = paired_difference(runs_a, runs_b, "resilience_mean_ttr_s")
+    assert stat.mean == pytest.approx(6.0)
+    # A seed without a defined value fails loudly, naming the seeds.
+    runs_b[2].resilience = None
+    with pytest.raises(ValueError, match=r"undefined for seeds \[2\]"):
+        paired_difference(runs_a, runs_b, "resilience_mean_ttr_s")
+
+
+def test_report_table_gains_ttr_column_only_for_faulted_sweeps():
+    report = SweepReport()
+    report.add(AggregateMetrics.from_runs([make_run(100.0, 0.1, seed=s) for s in (1, 2)]))
+    assert "ttr" not in report.format_table()
+    faulted = SweepReport()
+    faulted.add(AggregateMetrics.from_runs(
+        [make_resilient_run(ttr, seed) for seed, ttr in [(1, 4.0), (2, 6.0)]]
+    ))
+    table = faulted.format_table()
+    assert "ttr (s)" in table
+    assert "5.00" in table
