@@ -1,6 +1,6 @@
 """Multi-region cluster: deployments, pricing, clients and the frontend."""
 
-from .client import ClosedLoopClient, Frontend, OpenLoopClient, RequestTracker
+from .client import ClosedLoopClient, Frontend, OpenLoopClient, RequestTracker, TraceReplayClient
 from .deployment import Deployment, ReplicaSpec
 from .pricing import (
     G6_XLARGE,
@@ -22,4 +22,5 @@ __all__ = [
     "Frontend",
     "ClosedLoopClient",
     "OpenLoopClient",
+    "TraceReplayClient",
 ]

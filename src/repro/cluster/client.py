@@ -12,14 +12,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from ..network import GeoDNS, Network
 from ..sim import Environment, Event
 from ..workloads.program import Program
 from ..workloads.request import Request, RequestStatus
 
-__all__ = ["RequestTracker", "Frontend", "ClosedLoopClient", "OpenLoopClient"]
+__all__ = [
+    "RequestTracker",
+    "Frontend",
+    "ClosedLoopClient",
+    "OpenLoopClient",
+    "TraceReplayClient",
+]
 
 
 class BalancerEndpoint(Protocol):
@@ -42,11 +48,18 @@ class RequestTracker:
     requests that the metrics layer consumes.
     """
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, *, retain_completed: bool = True) -> None:
         self.env = env
         self._events: Dict[int, Event] = {}
         self.completed: List[Request] = []
         self.failed: List[Request] = []
+        #: When False (the streaming/macrobench mode), finished requests are
+        #: only *counted* -- the ``completed``/``failed`` lists stay empty so
+        #: a million-request day does not accumulate O(n) request objects.
+        self.retain_completed = retain_completed
+        self.num_completed = 0
+        self.num_failed = 0
+        self.output_tokens_completed = 0
 
     def register(self, request: Request) -> Event:
         event = self.env.event()
@@ -54,13 +67,18 @@ class RequestTracker:
         return event
 
     def complete(self, request: Request) -> None:
-        self.completed.append(request)
+        self.num_completed += 1
+        self.output_tokens_completed += request.output_len
+        if self.retain_completed:
+            self.completed.append(request)
         event = self._events.pop(request.request_id, None)
         if event is not None and not event.triggered:
             event.succeed(request)
 
     def fail(self, request: Request) -> None:
-        self.failed.append(request)
+        self.num_failed += 1
+        if self.retain_completed:
+            self.failed.append(request)
         event = self._events.pop(request.request_id, None)
         if event is not None and not event.triggered:
             event.succeed(request)
@@ -123,7 +141,11 @@ class ClosedLoopClient:
     programs:
         Programs to run back to back.  Requests within a stage are issued
         concurrently; the next stage starts only after every response of the
-        current stage has been received by the client.
+        current stage has been received by the client.  Materialized
+        sequences (lists/tuples) are copied as before; any other iterable
+        (e.g. a :class:`~repro.workloads.streams.ProgramStream` view) is
+        consumed lazily, one program at a time, so a streamed workload never
+        materializes its programs up front.
     think_time_s:
         Optional pause between consecutive stages (user "thinking").
     """
@@ -135,7 +157,7 @@ class ClosedLoopClient:
         region: str,
         frontend: Frontend,
         tracker: RequestTracker,
-        programs: Sequence[Program],
+        programs: Iterable[Program],
         *,
         think_time_s: float = 0.0,
         start_delay_s: float = 0.0,
@@ -145,7 +167,10 @@ class ClosedLoopClient:
         self.region = region
         self.frontend = frontend
         self.tracker = tracker
-        self.programs = list(programs)
+        if isinstance(programs, (list, tuple)):
+            self.programs: Iterable[Program] = list(programs)
+        else:
+            self.programs = programs
         self.think_time_s = think_time_s
         self.start_delay_s = start_delay_s
         self.completed_programs = 0
@@ -178,6 +203,48 @@ class ClosedLoopClient:
                 if self.think_time_s > 0:
                     yield env.timeout(self.think_time_s)
             self.completed_programs += 1
+
+
+class TraceReplayClient:
+    """An open-loop client replaying a timed request stream.
+
+    ``timed_requests`` yields ``(arrival_time_s, Request)`` pairs with
+    non-decreasing arrival times (absolute simulation seconds, e.g. a
+    :class:`~repro.workloads.streams.DiurnalRequestStream`).  The stream is
+    consumed lazily -- one request object lives at a time -- which is what
+    lets a full-day, million-request diurnal trace drive the frontend in
+    O(1) memory.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        region: str,
+        frontend: Frontend,
+        tracker: RequestTracker,
+        timed_requests: Iterable[Tuple[float, Request]],
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.region = region
+        self.frontend = frontend
+        self.tracker = tracker
+        self.timed_requests = timed_requests
+        self.issued_requests = 0
+        self.process = env.process(self._run())
+
+    def _run(self):
+        env = self.env
+        for arrival, request in self.timed_requests:
+            if arrival > env.now:
+                yield env.timeout(arrival - env.now)
+            request.region = self.region
+            request.sent_time = env.now
+            request.arrival_time = env.now
+            self.tracker.register(request)
+            self.frontend.dispatch(request)
+            self.issued_requests += 1
 
 
 class OpenLoopClient:

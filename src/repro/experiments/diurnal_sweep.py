@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.cost import CostModel
 from ..faults import FaultsLike
 from ..metrics import AggregateMetrics, LatencySummary, RunMetrics, aggregate_cell
-from ..workloads import ARENA_LIKE, ConversationConfig, ConversationWorkload
+from ..workloads import ARENA_LIKE, ConversationConfig, ConversationWorkload, ProgramStream
 from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
 from .registry import REGISTRY
 from .runner import run_experiment
@@ -133,12 +133,17 @@ class DiurnalSweepResult:
 
 
 def build_skewed_workload(scale: float = 1.0, *, seed: int = 5,
-                          conversations_per_client: int = 3) -> WorkloadSpec:
+                          conversations_per_client: int = 3,
+                          stream: bool = False) -> WorkloadSpec:
     """US-peak-hours workload: 120 US clients, 40 each in Europe and Asia.
 
     Conversations follow the ChatBot-Arena length profile (shorter prompts
     than WildChat) so that the US region's overload is dominated by demand
     rather than by individual giant prompts.
+
+    ``stream=True`` swaps the materialized program lists for lazy
+    :class:`~repro.workloads.streams.ProgramStream` specs (identical
+    programs, O(1) memory) -- the path the million-request macrobench uses.
     """
     clients = {
         "us": max(1, int(round(120 * scale))),
@@ -158,7 +163,15 @@ def build_skewed_workload(scale: float = 1.0, *, seed: int = 5,
             # false across invocations.
             seed=seed + zlib.crc32(region.encode("utf-8")) % 997,
         )
-        programs_by_region[region] = ConversationWorkload(config).generate_programs()
+        if stream:
+            programs_by_region[region] = ProgramStream(
+                factory="conversation",
+                region=region,
+                num_programs=count * conversations_per_client,
+                kwargs=(("config", config),),
+            )
+        else:
+            programs_by_region[region] = ConversationWorkload(config).generate_programs()
     return WorkloadSpec(
         name="regionally-skewed",
         programs_by_region=programs_by_region,

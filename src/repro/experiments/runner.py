@@ -34,6 +34,7 @@ from ..network import Network, default_topology
 from ..sim import Environment
 from ..workloads.program import Program
 from ..workloads.request import Request
+from ..workloads.streams import ProgramStream
 from .config import ClusterConfig, ExperimentConfig, WorkloadSpec
 from .registry import REGISTRY, BuildContext, SystemSpec
 
@@ -110,6 +111,18 @@ def _split_round_robin(programs: Sequence[Program], parts: int) -> List[List[Pro
     return chunks
 
 
+def _split_programs(programs, parts: int):
+    """Round-robin split for lists, strided lazy views for streams.
+
+    Both assign program ``i`` to client ``i % parts``; the stream path just
+    never materializes the sequence (each client's view regenerates it and
+    skips the other clients' entries).
+    """
+    if isinstance(programs, ProgramStream):
+        return programs.split(parts)
+    return _split_round_robin(programs, parts)
+
+
 def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> ExperimentResult:
     """Build the full stack, run it and collect metrics."""
     env = Environment()
@@ -179,7 +192,7 @@ def run_experiment(config: ExperimentConfig, workload: WorkloadSpec) -> Experime
         programs = workload.programs_by_region.get(region, [])
         if not programs or num_clients <= 0:
             continue
-        for index, chunk in enumerate(_split_round_robin(programs, num_clients)):
+        for index, chunk in enumerate(_split_programs(programs, num_clients)):
             if not chunk:
                 continue
             clients.append(

@@ -12,15 +12,25 @@ Usage::
     payload = run_suite(quick=True, out_path=None)
 """
 
+from .engine_bench import (
+    ENGINE_REPORT_SCHEMA,
+    ENGINE_SCHEMA,
+    run_engine_bench,
+    write_engine_report,
+)
 from .harness import alloc_peak_bytes, loglog_slope, time_op
 from .suite import REPORT_SCHEMA, SUITE_SCHEMA, run_suite, write_report
 
 __all__ = [
     "run_suite",
     "write_report",
+    "run_engine_bench",
+    "write_engine_report",
     "time_op",
     "alloc_peak_bytes",
     "loglog_slope",
     "SUITE_SCHEMA",
     "REPORT_SCHEMA",
+    "ENGINE_SCHEMA",
+    "ENGINE_REPORT_SCHEMA",
 ]

@@ -1,0 +1,312 @@
+"""A calendar-queue timeline for the simulation engine.
+
+This is the bucketed event scheduler from R. Brown's classic calendar-queue
+paper (CACM 1988), adapted for the engine's ``(time, priority, eid, event)``
+entries.  Amortized O(1) enqueue/dequeue replaces the global binary heap's
+O(log n), which is what lets a full-day, million-request diurnal trace run
+at a flat per-event cost instead of degrading with the pending-event count.
+
+Design notes (the parts that make the queue *exactly* equivalent to a heap):
+
+* **Total order.**  Entries are tuples ``(time, priority, eid, event)`` and
+  ``eid`` is a strictly increasing tie-breaker, so no two entries compare
+  equal.  The pop order of a heap over such entries is therefore a unique,
+  deterministic sequence — and this queue reproduces it bit-for-bit, which
+  the differential harness in ``tests/sim/test_engine_equivalence.py``
+  enforces against the private heap reference.
+
+* **One mapping, used everywhere.**  An entry's virtual bucket is
+  ``vb = int((t - origin) * inv_width)``.  Because every time in this
+  project is ``>= origin`` (delays may not be negative) the truncation in
+  ``int()`` equals ``floor()``, and because IEEE subtraction/multiplication
+  are weakly monotone the mapping itself is weakly monotone in ``t``.  The
+  same expression decides both where a push lands *and* which entries an
+  activation claims, so floating-point rounding can never disagree with
+  itself and pop an entry a "year" early or late.
+
+* **Lazy buckets, one active heap.**  Future pushes are plain
+  ``list.append`` — O(1), no comparisons.  Only the bucket currently being
+  drained is partitioned into a small binary heap (the *active* heap).
+  A push *behind* the active virtual bucket demotes the active heap back
+  into its bucket and re-activates at the earlier position, preserving
+  order even after ``peek_time()`` advanced the scan cursor.
+
+* **Power-of-two geometry.**  Bucket counts are powers of two (index is a
+  bitmask, not a modulo) and bucket widths are rounded to powers of two so
+  resizes rescale times exactly.
+
+* **Infinity.**  ``float("inf")`` entries cannot be mapped to a bucket
+  (``int(inf)`` raises ``OverflowError`` — that exception *is* the branch);
+  they live in a separate overflow heap consulted only when every finite
+  entry has drained.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+from typing import Any, List, Tuple
+
+__all__ = ["CalendarQueue"]
+
+#: A scheduled entry: ``(time, priority, eid, payload)``.
+Entry = Tuple[float, int, int, Any]
+
+
+class CalendarQueue:
+    """Bucketed priority queue with amortized O(1) push/pop.
+
+    Pops entries in exactly the order ``heapq`` would — the strictly
+    increasing ``eid`` tie-breaker makes that order unique.
+
+    Parameters
+    ----------
+    origin:
+        Lower bound for all entry times (the simulation's initial clock).
+        Entry times below ``origin`` are rejected.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_mask",
+        "_width",
+        "_inv_width",
+        "_count",
+        "_active",
+        "_active_vb",
+        "_origin",
+        "_inf",
+        "_resize_up",
+        "_resize_down",
+        "_resizes",
+    )
+
+    #: Smallest (and initial) bucket-array size.
+    MIN_BUCKETS = 32
+    #: Bucket-array size ceiling: bounds both resize cost and the memory
+    #: spent on empty lists at multi-million pending-event depths.
+    MAX_BUCKETS = 1 << 18
+    #: Geometric growth factor between resizes.
+    GROWTH = 4
+    #: Width is tuned so an average virtual bucket holds about this many
+    #: entries when the array is at its triggering occupancy.
+    TARGET_OCCUPANCY = 3.0
+
+    def __init__(self, origin: float = 0.0) -> None:
+        self._origin = float(origin)
+        self._nbuckets = self.MIN_BUCKETS
+        self._mask = self.MIN_BUCKETS - 1
+        self._buckets: List[List[Entry]] = [[] for _ in range(self.MIN_BUCKETS)]
+        self._width = 1.0
+        self._inv_width = 1.0
+        self._count = 0
+        self._active: List[Entry] = []
+        self._active_vb = 0
+        self._inf: List[Entry] = []
+        self._resize_up: float = 2 * self.MIN_BUCKETS
+        self._resize_down = -1
+        self._resizes = 0
+
+    # ------------------------------------------------------------------
+    # introspection (used by the resize edge-case tests and the docs)
+    # ------------------------------------------------------------------
+    @property
+    def bucket_count(self) -> int:
+        """Current size of the bucket array (always a power of two)."""
+        return self._nbuckets
+
+    @property
+    def bucket_width(self) -> float:
+        """Current bucket width in seconds (always a power of two)."""
+        return self._width
+
+    @property
+    def resizes(self) -> int:
+        """Number of resize operations performed so far."""
+        return self._resizes
+
+    def __len__(self) -> int:
+        return self._count + len(self._inf)
+
+    def __bool__(self) -> bool:
+        return bool(self._count or self._inf)
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        """Insert ``entry``; O(1) amortized."""
+        try:
+            vb = int((entry[0] - self._origin) * self._inv_width)
+        except OverflowError:  # entry[0] == float("inf")
+            heappush(self._inf, entry)
+            return
+        if vb < 0:
+            raise ValueError(
+                f"entry time {entry[0]!r} precedes the queue origin "
+                f"{self._origin!r}"
+            )
+        avb = self._active_vb
+        if vb > avb:
+            self._buckets[vb & self._mask].append(entry)
+        elif vb == avb:
+            heappush(self._active, entry)
+        else:
+            # Push behind the activation point: demote the active heap back
+            # into its bucket, restart the scan at the earlier vbucket.
+            active = self._active
+            if active:
+                self._buckets[avb & self._mask].extend(active)
+                del active[:]
+            self._active_vb = vb
+            self._activate(vb)
+            heappush(active, entry)
+        count = self._count + 1
+        self._count = count
+        if count > self._resize_up:
+            self._resize(self._nbuckets * self.GROWTH)
+
+    def pop(self) -> Entry:
+        """Remove and return the minimum entry; O(1) amortized.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        active = self._active
+        if active:
+            count = self._count - 1
+            self._count = count
+            if count < self._resize_down:
+                entry = heappop(active)
+                self._resize(max(self.MIN_BUCKETS, self._nbuckets // self.GROWTH))
+                return entry
+            return heappop(active)
+        if not self._count:
+            if self._inf:
+                return heappop(self._inf)
+            raise IndexError("pop from empty calendar queue")
+        self._advance()
+        self._count -= 1
+        return heappop(active)
+
+    def peek_time(self) -> float:
+        """Time of the minimum entry, or ``inf`` if the queue is empty.
+
+        May advance the internal scan cursor, but never changes the order
+        in which entries pop.
+        """
+        active = self._active
+        if active:
+            return active[0][0]
+        if self._count:
+            self._advance()
+            return self._active[0][0]
+        if self._inf:
+            return self._inf[0][0]
+        return float("inf")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _activate(self, vb: int) -> None:
+        """Claim the entries of virtual bucket ``vb`` into the active heap."""
+        bucket = self._buckets[vb & self._mask]
+        if not bucket:
+            return
+        inv = self._inv_width
+        origin = self._origin
+        active = self._active
+        keep = []
+        for entry in bucket:
+            # Same mapping as push(): a bucket may hold entries from several
+            # "years" (vb values that alias modulo the array size); claim
+            # only the current year's.
+            if int((entry[0] - origin) * inv) == vb:
+                active.append(entry)
+            else:
+                keep.append(entry)
+        if active:
+            bucket[:] = keep
+            if len(active) > 1:
+                heapify(active)
+
+    def _advance(self) -> None:
+        """Move the activation point to the next non-empty virtual bucket.
+
+        Precondition: the active heap is empty and at least one finite
+        entry remains.  Postcondition: the active heap holds the minimum
+        entry's virtual bucket.
+        """
+        bs = self._buckets
+        mask = self._mask
+        vb = self._active_vb
+        nb = self._nbuckets
+        scanned = 0
+        while True:
+            vb += 1
+            scanned += 1
+            if bs[vb & mask]:
+                self._active_vb = vb
+                self._activate(vb)
+                if self._active:
+                    return
+            if scanned >= nb:
+                break
+        # A whole "year" scanned without a hit: the next entry is more than
+        # nbuckets * width ahead.  Jump straight to the global minimum.
+        best = None
+        for bucket in bs:
+            for entry in bucket:
+                if best is None or entry < best:
+                    best = entry
+        vb = int((best[0] - self._origin) * self._inv_width)
+        self._active_vb = vb
+        self._activate(vb)
+
+    def _resize(self, nbuckets: int) -> None:
+        """Rebuild the bucket array with ``nbuckets`` slots and a re-tuned width."""
+        items = list(self._active)
+        for bucket in self._buckets:
+            items.extend(bucket)
+        if items:
+            lo = min(items)[0]
+            hi = max(items)[0]
+            span = hi - lo
+            if span > 0:
+                est = span / len(items) * self.TARGET_OCCUPANCY
+                # Round the width to a power of two so rescaling is exact.
+                self._width = 2.0 ** round(math.log2(est))
+                self._inv_width = 1.0 / self._width
+        if nbuckets >= self.MAX_BUCKETS:
+            nbuckets = self.MAX_BUCKETS
+            # At the ceiling a grow-resize can never help again; disable the
+            # trigger or every subsequent push would pay an O(n) rebuild.
+            self._resize_up = float("inf")
+        else:
+            self._resize_up = 2 * nbuckets
+        self._nbuckets = nbuckets
+        self._mask = mask = nbuckets - 1
+        self._buckets = bs = [[] for _ in range(nbuckets)]
+        self._resize_down = nbuckets // 4 if nbuckets > self.MIN_BUCKETS else -1
+        self._resizes += 1
+        del self._active[:]
+        inv = self._inv_width
+        origin = self._origin
+        min_vb = None
+        for entry in items:
+            vb = int((entry[0] - origin) * inv)
+            bs[vb & mask].append(entry)
+            if min_vb is None or vb < min_vb:
+                min_vb = vb
+        if min_vb is not None:
+            self._active_vb = min_vb
+            self._activate(min_vb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<CalendarQueue len={len(self)} buckets={self._nbuckets} "
+            f"width={self._width}>"
+        )

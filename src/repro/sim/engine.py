@@ -1,9 +1,19 @@
 """The discrete-event simulation environment.
 
-:class:`Environment` owns the simulation clock and the event queue.  Times
+:class:`Environment` owns the simulation clock and the event timeline.  Times
 are floats in **seconds** throughout this project; the unit matters because
 the replica model profiles and network latency matrices are calibrated in
 seconds as well.
+
+The timeline is pluggable.  The default is the :class:`~repro.sim.calendar.
+CalendarQueue` — amortized O(1) enqueue/dequeue, which is what keeps a
+million-event day tractable.  The original ``heapq`` timeline is retained as
+a private reference implementation (``Environment(timeline="heap")``): the
+differential harness in ``tests/sim/test_engine_equivalence.py`` replays
+randomized schedules through both and asserts identical pop order and final
+state.  Both timelines order events by ``(time, priority, eid)`` where
+``eid`` is a strictly increasing insertion counter, so the order is a unique
+deterministic sequence — ties at the same timestamp pop in insertion order.
 """
 
 from __future__ import annotations
@@ -11,6 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple
 
+from .calendar import CalendarQueue
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
@@ -26,6 +37,42 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+class _HeapTimeline:
+    """The original global-heap timeline, kept as the reference oracle.
+
+    O(log n) push/pop via ``heapq``.  Semantically authoritative: the
+    calendar timeline must pop entries in exactly this order (the harness
+    in ``tests/sim/test_engine_equivalence.py`` enforces it).
+    """
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, int, Event]] = []
+
+    def push(self, entry: Tuple[float, int, int, Event]) -> None:
+        heapq.heappush(self._queue, entry)
+
+    def pop(self) -> Tuple[float, int, int, Event]:
+        return heapq.heappop(self._queue)
+
+    def peek_time(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+
+#: Registry of timeline implementations selectable by name.
+_TIMELINES = {
+    "calendar": CalendarQueue,
+    "heap": _HeapTimeline,
+}
+
+
 class Environment:
     """A discrete-event simulation environment.
 
@@ -33,11 +80,27 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock, in seconds.
+    timeline:
+        Scheduler implementation: ``"calendar"`` (default, amortized O(1))
+        or ``"heap"`` (the reference ``heapq`` timeline).  Both produce
+        bit-identical simulations; ``"heap"`` exists for the differential
+        equivalence harness and as a fallback oracle.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, timeline: str = "calendar") -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        try:
+            factory = _TIMELINES[timeline]
+        except KeyError:
+            raise ValueError(
+                f"unknown timeline {timeline!r}; expected one of "
+                f"{sorted(_TIMELINES)}"
+            ) from None
+        if factory is CalendarQueue:
+            self._timeline = CalendarQueue(origin=self._now)
+        else:
+            self._timeline = factory()
+        self._timeline_name = timeline
         self._eid = 0
         self._active_process: Optional[Process] = None
 
@@ -50,18 +113,32 @@ class Environment:
         return self._now
 
     @property
+    def timeline_name(self) -> str:
+        """Name of the timeline implementation backing this environment."""
+        return self._timeline_name
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
 
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Insert ``event`` into the queue ``delay`` seconds from now."""
+        """Insert ``event`` into the timeline ``delay`` seconds from now.
+
+        Raises
+        ------
+        ValueError
+            If ``delay`` is negative: the simulation clock may never run
+            backwards, and silently clamping would hide workload bugs.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r} would run the clock backwards")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._timeline.push((self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._timeline.peek_time()
 
     # ------------------------------------------------------------------
     # factories
@@ -95,10 +172,10 @@ class Environment:
         Raises
         ------
         EmptySchedule
-            If the queue is empty.
+            If the timeline is empty.
         """
         try:
-            when, _priority, _eid, event = heapq.heappop(self._queue)
+            when, _priority, _eid, event = self._timeline.pop()
         except IndexError:
             raise EmptySchedule("no more events scheduled") from None
         self._now = when
@@ -117,7 +194,7 @@ class Environment:
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
-        ``until`` may be ``None`` (run until the queue drains), a number
+        ``until`` may be ``None`` (run until the timeline drains), a number
         (run until the clock reaches that time) or an :class:`Event` (run
         until the event is processed, returning its value).
         """
@@ -137,10 +214,11 @@ class Environment:
                     f"until={stop_time} lies in the past (now={self._now})"
                 )
 
-        while self._queue:
+        timeline = self._timeline
+        while timeline:
             if stop_event is not None and stop_event.processed:
                 return stop_event.value
-            if self.peek() > stop_time:
+            if timeline.peek_time() > stop_time:
                 self._now = stop_time
                 return None
             self.step()
@@ -156,4 +234,7 @@ class Environment:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return (
+            f"<Environment now={self._now} queued={len(self._timeline)} "
+            f"timeline={self._timeline_name}>"
+        )

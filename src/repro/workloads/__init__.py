@@ -12,6 +12,12 @@ from .lengths import (
 )
 from .program import Program
 from .request import Request, RequestStatus, TokenSeq
+from .streams import (
+    STREAM_FACTORIES,
+    DiurnalRequestStream,
+    ProgramStream,
+    register_stream_factory,
+)
 from .tokens import TokenFactory
 from .traces import RegionalTrace
 from .tree_of_thoughts import TreeOfThoughtsConfig, TreeOfThoughtsWorkload
@@ -38,4 +44,8 @@ __all__ = [
     "COUNTRY_PROFILES",
     "generate_daily_trace",
     "RegionalTrace",
+    "ProgramStream",
+    "DiurnalRequestStream",
+    "STREAM_FACTORIES",
+    "register_stream_factory",
 ]

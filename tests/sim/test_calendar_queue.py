@@ -1,0 +1,230 @@
+"""Table-driven unit tests for the calendar-queue scheduler's edge cases.
+
+The differential fuzzer (``test_engine_equivalence.py``) pins *behavioral*
+identity with the heap; this file pins the calendar-specific mechanics —
+bucket resizing, the one-bucket degenerate case, far-future outliers that
+force the global-minimum jump, ``inf``-adjacent peeks, and the
+``MAX_BUCKETS`` ceiling (exercised cheaply through a small-cap subclass,
+since the sizing constants are class attributes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.calendar import CalendarQueue
+
+INF = float("inf")
+
+
+def _drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+def _entries(times):
+    return [(t, 1, eid, None) for eid, t in enumerate(times, start=1)]
+
+
+def _sorted_times(entries):
+    return [e[0] for e in sorted(entries)]
+
+
+# ----------------------------------------------------------------------
+# table-driven schedules
+# ----------------------------------------------------------------------
+CASES = [
+    # (name, times)
+    ("all_in_one_bucket", [0.1, 0.2, 0.3, 0.05, 0.25] * 10),
+    ("single_entry", [7.25]),
+    ("all_same_time", [3.0] * 64),
+    ("far_future_outlier", [1.0, 2.0, 3.0, 1e9]),
+    ("outlier_first", [1e9, 1.0, 2.0, 3.0]),
+    ("two_clusters_far_apart", [float(i) for i in range(20)] + [1e6 + i for i in range(20)]),
+    ("inf_only", [INF, INF, INF]),
+    ("inf_mixed", [INF, 1.0, INF, 0.0, 2.5]),
+    ("subnormal_spread", [2.0 ** -1040, 2.0 ** -1041, 0.0]),
+    ("huge_spread", [2.0 ** -30, 1.0, 2.0 ** 60]),
+    ("zeroes_then_everything", [0.0] * 30 + [0.5, 1e5, INF, 0.25]),
+]
+
+
+@pytest.mark.parametrize("times", [case[1] for case in CASES], ids=[case[0] for case in CASES])
+def test_drains_in_sorted_order(times):
+    queue = CalendarQueue()
+    entries = _entries(times)
+    for entry in entries:
+        queue.push(entry)
+    assert len(queue) == len(entries)
+    drained = _drain(queue)
+    assert drained == sorted(entries)
+    assert len(queue) == 0 and not queue
+
+
+@pytest.mark.parametrize("times", [case[1] for case in CASES], ids=[case[0] for case in CASES])
+def test_interleaved_peek_never_changes_pop_order(times):
+    """peek_time may advance the scan cursor but must not reorder pops."""
+    plain, peeked = CalendarQueue(), CalendarQueue()
+    for entry in _entries(times):
+        plain.push(entry)
+        peeked.push(entry)
+        assert peeked.peek_time() == min(peeked.peek_time(), entry[0])
+    order_plain = []
+    order_peeked = []
+    while plain:
+        order_plain.append(plain.pop())
+        assert peeked.peek_time() == order_plain[-1][0]
+        order_peeked.append(peeked.pop())
+    assert order_peeked == order_plain
+
+
+# ----------------------------------------------------------------------
+# resize behavior (via the introspection properties)
+# ----------------------------------------------------------------------
+def test_grow_resize_triggers_and_preserves_order():
+    queue = CalendarQueue()
+    rng = random.Random(99)
+    entries = _entries([rng.uniform(0, 1000) for _ in range(5000)])
+    for entry in entries:
+        queue.push(entry)
+    assert queue.resizes > 0
+    assert queue.bucket_count > CalendarQueue.MIN_BUCKETS
+    # Power-of-two geometry holds after every resize.
+    assert queue.bucket_count & (queue.bucket_count - 1) == 0
+    ratio = queue.bucket_width
+    assert ratio == 2.0 ** round(__import__("math").log2(ratio))
+    assert _drain(queue) == sorted(entries)
+
+
+def test_shrink_resize_triggers_on_drain():
+    queue = CalendarQueue()
+    rng = random.Random(7)
+    for entry in _entries([rng.uniform(0, 500) for _ in range(4000)]):
+        queue.push(entry)
+    grown = queue.bucket_count
+    assert grown > CalendarQueue.MIN_BUCKETS
+    resizes_after_growth = queue.resizes
+    _drain(queue)
+    assert queue.resizes > resizes_after_growth  # at least one shrink fired
+    assert queue.bucket_count < grown
+
+
+def test_resize_during_mixed_push_pop_keeps_heap_order():
+    from repro.sim.engine import _HeapTimeline
+
+    queue, heap = CalendarQueue(), _HeapTimeline()
+    rng = random.Random(1234)
+    now = 0.0
+    eid = 0
+    popped_q, popped_h = [], []
+    for _ in range(20_000):
+        if rng.random() < 0.55 or not queue:
+            eid += 1
+            entry = (now + rng.uniform(0, 100), 1, eid, None)
+            queue.push(entry)
+            heap.push(entry)
+        else:
+            entry = queue.pop()
+            popped_q.append(entry)
+            popped_h.append(heap.pop())
+            now = entry[0]
+    popped_q.extend(_drain(queue))
+    while heap:
+        popped_h.append(heap.pop())
+    assert popped_q == popped_h
+    assert queue.resizes > 0
+
+
+# ----------------------------------------------------------------------
+# the MAX_BUCKETS ceiling (small-cap subclass keeps the test cheap)
+# ----------------------------------------------------------------------
+class _TinyCapQueue(CalendarQueue):
+    MAX_BUCKETS = 64
+
+
+def test_bucket_cap_is_respected_and_resizing_stops():
+    queue = _TinyCapQueue()
+    rng = random.Random(5)
+    entries = _entries([rng.uniform(0, 10_000) for _ in range(2000)])
+    for entry in entries:
+        queue.push(entry)
+    assert queue.bucket_count == _TinyCapQueue.MAX_BUCKETS
+    resizes_at_cap = queue.resizes
+    # Pushing far past the trigger point must not resize again (the cap
+    # disables the grow trigger; re-enabling it would make every push O(n)).
+    more = _entries([rng.uniform(0, 10_000) for _ in range(2000)])
+    for time, priority, _, payload in more:
+        entries.append((time, priority, len(entries) + 1, payload))
+        queue.push(entries[-1])
+    assert queue.resizes == resizes_at_cap
+    assert queue.bucket_count == _TinyCapQueue.MAX_BUCKETS
+    assert _drain(queue) == sorted(entries)
+
+
+# ----------------------------------------------------------------------
+# inf-adjacent peeks and error paths
+# ----------------------------------------------------------------------
+def test_peek_empty_is_inf_and_pop_empty_raises():
+    queue = CalendarQueue()
+    assert queue.peek_time() == INF
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_inf_entries_surface_only_after_finite_ones():
+    queue = CalendarQueue()
+    queue.push((INF, 0, 1, "a"))
+    assert queue.peek_time() == INF  # inf is genuinely the minimum now
+    queue.push((5.0, 0, 2, "b"))
+    assert queue.peek_time() == 5.0
+    assert queue.pop() == (5.0, 0, 2, "b")
+    assert queue.peek_time() == INF
+    assert queue.pop() == (INF, 0, 1, "a")
+    assert queue.peek_time() == INF  # empty again
+    assert len(queue) == 0
+
+
+def test_inf_ties_break_by_priority_then_eid():
+    queue = CalendarQueue()
+    queue.push((INF, 1, 2, "later"))
+    queue.push((INF, 1, 1, "earlier"))
+    queue.push((INF, 0, 3, "urgent"))
+    assert [queue.pop()[3] for _ in range(3)] == ["urgent", "earlier", "later"]
+
+
+def test_push_before_origin_rejected():
+    queue = CalendarQueue(origin=100.0)
+    with pytest.raises(ValueError):
+        queue.push((99.0, 0, 1, None))
+    queue.push((100.0, 0, 1, None))  # exactly at origin is fine
+    assert queue.pop()[0] == 100.0
+
+
+def test_push_behind_activation_point_after_peek():
+    """A peek advances the cursor; a later push behind it must still pop
+    first (the demote-and-reactivate path)."""
+    queue = CalendarQueue()
+    queue.push((50.0, 0, 1, "far"))
+    assert queue.peek_time() == 50.0  # cursor has advanced toward vb(50)
+    queue.push((1.0, 0, 2, "near"))
+    assert queue.peek_time() == 1.0
+    assert queue.pop()[3] == "near"
+    assert queue.pop()[3] == "far"
+
+
+def test_global_min_jump_after_empty_year():
+    """An outlier farther than nbuckets*width ahead forces the full-scan
+    jump; the queue must land exactly on the minimum, not an alias."""
+    queue = CalendarQueue()
+    # Two aliasing outliers: same bucket index modulo the array size.
+    width, nb = queue.bucket_width, queue.bucket_count
+    near = 123 * width * nb
+    far = 456 * width * nb
+    queue.push((far, 0, 1, "far"))
+    queue.push((near, 0, 2, "near"))
+    assert queue.pop()[3] == "near"
+    assert queue.pop()[3] == "far"
