@@ -130,7 +130,13 @@ class Frontend:
         balancer = self._balancers[endpoint]
         request.status = RequestStatus.QUEUED_AT_LB
         request.ingress_region = balancer.region
-        self.network.deliver(request, request.region, balancer.region, balancer.inbox)
+        self.network.deliver(
+            request,
+            request.region,
+            balancer.region,
+            balancer.inbox,
+            size_bytes=self.network.request_wire_bytes(request),
+        )
 
 
 class ClosedLoopClient:

@@ -318,19 +318,38 @@ class BalancerBase:
         # Payload cost of the push, computed *before* _note_dispatch records
         # this prompt in the routing trees (else the request would always
         # appear fully resident on its own target).
+        contended = self.network.contention_enabled
         extra_delay = 0.0
-        if self.push_transfer is not None:
+        pushed = 0
+        if self.push_transfer is not None or contended:
             pushed = self._push_payload_tokens(request, replica)
-            if pushed > 0:
-                extra_delay = self.push_transfer.delay_s(pushed)
-                self.pushed_prefix_tokens += pushed
-                self.pushed_prefix_bytes += self.push_transfer.bytes_for(pushed)
-                self.push_transfer_s += extra_delay
+        if self.push_transfer is not None and pushed > 0:
+            extra_delay = self.push_transfer.delay_s(pushed)
+            self.pushed_prefix_tokens += pushed
+            self.pushed_prefix_bytes += self.push_transfer.bytes_for(pushed)
+            self.push_transfer_s += extra_delay
         self.outstanding[replica.name] = self.outstanding.get(replica.name, 0) + 1
         self._note_dispatch(request, replica)
-        self.network.deliver(
-            request, self.region, replica.region, replica.inbox, extra_delay=extra_delay
-        )
+        if contended:
+            # Contended WAN: the dispatch carries its wire size (request
+            # plus any pushed KV prefix) and originates at the request's
+            # home region, so the payload crosses the shared cross-region
+            # edges exactly once even after LB-to-LB forwards.
+            size_bytes = self.network.request_wire_bytes(
+                request
+            ) + self.network.push_wire_bytes(pushed)
+            self.network.deliver(
+                request,
+                request.region,
+                replica.region,
+                replica.inbox,
+                extra_delay=extra_delay,
+                size_bytes=size_bytes,
+            )
+        else:
+            self.network.deliver(
+                request, self.region, replica.region, replica.inbox, extra_delay=extra_delay
+            )
         self.dispatched_requests += 1
 
     def _push_payload_tokens(self, request: Request, replica: ReplicaServer) -> int:

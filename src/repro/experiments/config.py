@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Union
 
 from ..faults import FaultsLike
 from ..mem import MemoryConfig
+from ..net import NetConfig
 from ..replica import LLAMA_8B_L4, ModelProfile
 from ..workloads.program import Program
 from ..workloads.streams import ProgramStream
@@ -77,6 +78,10 @@ class ClusterConfig:
     #: keeps the flat legacy model and is bit-identical to it.
     memory: Optional[MemoryConfig] = None
     record_utilization: bool = False
+    #: Optional graph-routed WAN (:class:`~repro.net.NetConfig`): multi-hop
+    #: topology, routing policy and shared-link bandwidth contention.
+    #: ``None`` keeps the legacy pairwise network, byte-for-byte.
+    network: Optional[NetConfig] = None
 
     @property
     def total_replicas(self) -> int:

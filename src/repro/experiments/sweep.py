@@ -137,10 +137,19 @@ def plugin_modules() -> Tuple[str, ...]:
     from ..faults.schedule import _SCHEDULES
     from ..faults.spec import _FAULTS
     from ..mem.policies import admission_policy_factories, offload_policy_factories
+    from ..net.graph import _WAN_TOPOLOGIES
+    from ..net.routing import _ROUTING_POLICIES
     from .registry import REGISTRY
 
     factories: List[object] = []
-    for registry in (_PUSHING_POLICIES, _SELECTION_POLICIES, _CONSTRAINTS, _SCHEDULES):
+    for registry in (
+        _PUSHING_POLICIES,
+        _SELECTION_POLICIES,
+        _CONSTRAINTS,
+        _SCHEDULES,
+        _WAN_TOPOLOGIES,
+        _ROUTING_POLICIES,
+    ):
         factories.extend(registry._factories.values())
     factories.extend(offload_policy_factories())
     factories.extend(admission_policy_factories())

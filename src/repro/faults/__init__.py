@@ -62,7 +62,9 @@ from .spec import (
     FaultEntry,
     FaultSpec,
     LinkDegrade,
+    LinkDown,
     LinkLatencySpike,
+    LinkUp,
     RegionPartition,
     ReplicaCrash,
     ReplicaDegrade,
@@ -89,6 +91,8 @@ __all__ = [
     "RegionPartition",
     "LinkLatencySpike",
     "LinkDegrade",
+    "LinkDown",
+    "LinkUp",
     "FaultEntry",
     "register_fault",
     "unregister_fault",

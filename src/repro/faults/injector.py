@@ -37,7 +37,9 @@ from .spec import (
     BalancerRecovery,
     FaultSpec,
     LinkDegrade,
+    LinkDown,
     LinkLatencySpike,
+    LinkUp,
     RegionPartition,
     ReplicaCrash,
     ReplicaDegrade,
@@ -587,3 +589,38 @@ def _apply_link_degrade(
             ctx.injector.resolve(record)
 
         ctx.env.process(heal_later())
+
+
+@register_fault(
+    "link-down",
+    spec=LinkDown,
+    description="Take one physical link down (routes re-converge around it)",
+)
+def _apply_link_down(spec: LinkDown, ctx: FaultContext, record: FaultRecord) -> None:
+    # On the routed network this downs a graph edge and the routing policy
+    # re-converges deterministically (traffic re-routes where the topology
+    # allows); on the pairwise network set_edge_down falls back to a pair
+    # block.  Either way downs are reference-counted, so overlapping
+    # link-down faults compose and each heal removes only its own down.
+    record.target = f"{spec.a}<->{spec.b}"
+    ctx.network.set_edge_down(spec.a, spec.b, True)
+    if spec.duration_s is not None:
+
+        def heal_later():
+            yield ctx.env.timeout(spec.duration_s)
+            ctx.network.set_edge_down(spec.a, spec.b, False)
+            ctx.injector.resolve(record)
+
+        ctx.env.process(heal_later())
+
+
+@register_fault(
+    "link-up",
+    spec=LinkUp,
+    description="Bring a downed link back up and re-converge routes",
+)
+def _apply_link_up(spec: LinkUp, ctx: FaultContext, record: FaultRecord) -> None:
+    record.target = f"{spec.a}<->{spec.b}"
+    record.opens_window = False
+    ctx.network.set_edge_down(spec.a, spec.b, False)
+    ctx.injector.resolve_target(record.target, kind="link-down")

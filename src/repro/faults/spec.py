@@ -53,6 +53,13 @@ Built-in kinds (appliers live in :mod:`repro.faults.injector`):
 ``link-degrade``
     Gray network failure: per-message loss probability and extra jitter on
     a link.  Probes feel the jitter but are never lost (slow, not dead).
+``link-down`` / ``link-up``
+    Take one physical link down / bring it back.  On the graph-routed
+    network (:mod:`repro.net`) this downs a graph edge and re-converges
+    routes around the cut (traffic *re-routes* where the topology allows,
+    unlike a ``region-partition`` which forbids the pair outright); on the
+    legacy pairwise network an edge and a region pair are the same thing,
+    so it degenerates to a partition.
 """
 
 from __future__ import annotations
@@ -71,6 +78,8 @@ __all__ = [
     "ReplicaDegrade",
     "ReplicaRestore",
     "LinkDegrade",
+    "LinkDown",
+    "LinkUp",
     "FaultEntry",
     "register_fault",
     "unregister_fault",
@@ -234,6 +243,33 @@ class LinkDegrade(FaultSpec):
     loss_probability: float = 0.05
     extra_jitter_fraction: float = 0.5
     duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkDown(FaultSpec):
+    """Take the physical ``a``<->``b`` link down (both directions).
+
+    ``a``/``b`` name *graph nodes* -- regions or WAN routers.  On the
+    routed network the route table re-converges deterministically around
+    the cut (observable as ``route_changed`` events); pairs left with no
+    surviving path drop messages until the link heals.  Downs are
+    reference-counted, so overlapping faults compose.  ``duration_s=None``
+    keeps the link down until an explicit ``link-up`` event.
+    """
+
+    kind: str = "link-down"
+    a: str = "us"
+    b: str = "eu"
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkUp(FaultSpec):
+    """Bring a downed ``a``<->``b`` link back and re-converge routes."""
+
+    kind: str = "link-up"
+    a: str = "us"
+    b: str = "eu"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""``repro.net``: the graph-routed WAN with shared-link bandwidth contention.
+
+The legacy :mod:`repro.network` models the WAN as a pairwise latency matrix:
+every region pair has a private wire, so messages never share a path and the
+bandwidth-scarce regime the paper's BP vs SP-O/SP-P comparison diverges in
+is unreachable.  This package replaces the wire with a routed graph:
+
+* :mod:`~repro.net.graph` -- :class:`WanGraph` (regions + WAN routers,
+  directed edges with latency and optional finite bandwidth) and the
+  ``register_wan_topology`` builder registry (``"mesh"``, ``"backbone"``).
+* :mod:`~repro.net.routing` -- the ``register_routing_policy`` registry
+  (``"shortest-path"`` Dijkstra with the deterministic ``(cost, name)``
+  tie-break, ``"static-route"``, ``"cost-weighted"``).
+* :mod:`~repro.net.routed` -- :class:`RoutedNetwork`, a drop-in
+  :class:`~repro.network.Network` doing multi-hop delivery, per-edge FIFO
+  contention and deterministic route re-convergence under faults
+  (observable as :class:`RouteChange` events).
+* :mod:`~repro.net.config` -- the frozen :class:`NetConfig` that rides on
+  :class:`~repro.experiments.config.ClusterConfig` into sweep workers.
+
+With contention disabled (the default) the routed ``"mesh"`` network is
+bit-identical to the legacy pairwise one -- see ``docs/NETWORK.md`` for the
+full determinism contract.
+"""
+
+from .config import NetConfig
+from .graph import (
+    WanGraph,
+    WanLink,
+    make_wan_topology,
+    register_wan_topology,
+    registered_wan_topologies,
+)
+from .routed import RoutedNetwork, RouteChange, build_routed_network
+from .routing import (
+    CostWeightedRouting,
+    RoutingPolicy,
+    ShortestPathRouting,
+    StaticRouting,
+    make_routing_policy,
+    register_routing_policy,
+    registered_routing_policies,
+)
+from .trace import run_route_trace
+
+__all__ = [
+    "NetConfig",
+    "WanGraph",
+    "WanLink",
+    "register_wan_topology",
+    "make_wan_topology",
+    "registered_wan_topologies",
+    "RoutingPolicy",
+    "ShortestPathRouting",
+    "StaticRouting",
+    "CostWeightedRouting",
+    "register_routing_policy",
+    "make_routing_policy",
+    "registered_routing_policies",
+    "RoutedNetwork",
+    "RouteChange",
+    "build_routed_network",
+    "run_route_trace",
+]

@@ -1,0 +1,188 @@
+"""Routing policies: deterministic path computation over the WAN graph.
+
+A routing policy computes the path a message takes between two nodes given
+the graph and the currently-down edges.  Policies are registered by name
+(``register_routing_policy``) so configs carry only the (picklable) name
+plus scalar kwargs -- the same plug-in contract as the pushing / selection
+/ constraint registries -- and resolve inside sweep worker processes.
+
+Built-ins:
+
+``shortest-path`` (the default)
+    Dijkstra over edge latencies with the house ``(cost, name)`` heap
+    tie-break: equal-cost frontiers pop in lexicographic node order and
+    neighbours relax in sorted order, so the chosen path is a *unique*
+    deterministic function of the graph -- never of dict iteration order.
+``static-route``
+    Explicit per-pair paths (``routes={(src, dst): (src, hop, dst)}``),
+    falling back to ``shortest-path`` for pairs without an entry or whose
+    pinned path crosses a downed edge.  The operator's "traffic
+    engineering" escape hatch.
+``cost-weighted``
+    Dijkstra over ``latency + hop_penalty_s`` per edge: a positive penalty
+    discourages long detours (prefer direct links even when a multi-hop
+    path has marginally lower latency); the paper-default penalty of 0
+    makes it identical to ``shortest-path``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from .._registry import NameRegistry
+from .graph import WanGraph
+
+__all__ = [
+    "RoutingPolicy",
+    "ShortestPathRouting",
+    "StaticRouting",
+    "CostWeightedRouting",
+    "register_routing_policy",
+    "make_routing_policy",
+    "registered_routing_policies",
+]
+
+Path = Tuple[str, ...]
+EdgeSet = FrozenSet[Tuple[str, str]]
+
+_ROUTING_POLICIES = NameRegistry("routing policy", plural="routing policies")
+
+
+def register_routing_policy(name: str, *, replace_existing: bool = False):
+    """Register a routing-policy factory under ``name`` (the extension
+    point; factories take scalar kwargs and return a policy object with a
+    ``compute_path(graph, src, dst, down_edges)`` method)."""
+    return _ROUTING_POLICIES.register(name, replace_existing=replace_existing)
+
+
+def make_routing_policy(name: str, **kwargs) -> "RoutingPolicy":
+    return _ROUTING_POLICIES.make(name, **kwargs)
+
+
+def registered_routing_policies() -> Tuple[str, ...]:
+    return _ROUTING_POLICIES.names()
+
+
+class RoutingPolicy:
+    """Base class: a deterministic path function over the graph."""
+
+    def compute_path(
+        self, graph: WanGraph, src: str, dst: str, down_edges: EdgeSet = frozenset()
+    ) -> Optional[Path]:
+        """The node path from ``src`` to ``dst`` (inclusive), or ``None``
+        when no route survives the downed edges."""
+        raise NotImplementedError
+
+
+def _dijkstra(
+    graph: WanGraph,
+    src: str,
+    dst: str,
+    down_edges: EdgeSet,
+    *,
+    hop_penalty_s: float = 0.0,
+) -> Optional[Path]:
+    """Deterministic Dijkstra: heap entries are ``(cost, name)`` so
+    equal-cost ties break lexicographically, and neighbours relax in
+    sorted order -- the path is a pure function of the graph."""
+    if src == dst:
+        return (src,)
+    dist: Dict[str, float] = {src: 0.0}
+    prev: Dict[str, str] = {}
+    heap: list = [(0.0, src)]
+    done: Dict[str, None] = {}
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done[node] = None
+        if node == dst:
+            break
+        for neighbor in graph.neighbors(node):
+            if (node, neighbor) in down_edges:
+                continue
+            next_cost = cost + graph.latency(node, neighbor) + hop_penalty_s
+            if neighbor not in dist or next_cost < dist[neighbor]:
+                dist[neighbor] = next_cost
+                prev[neighbor] = node
+                heapq.heappush(heap, (next_cost, neighbor))
+    if dst not in done:
+        return None
+    path = [dst]
+    while path[-1] != src:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+@register_routing_policy("shortest-path")
+class ShortestPathRouting(RoutingPolicy):
+    """Latency-shortest paths with the ``(cost, name)`` tie-break."""
+
+    def compute_path(
+        self, graph: WanGraph, src: str, dst: str, down_edges: EdgeSet = frozenset()
+    ) -> Optional[Path]:
+        return _dijkstra(graph, src, dst, down_edges)
+
+
+@register_routing_policy("cost-weighted")
+class CostWeightedRouting(RoutingPolicy):
+    """Shortest paths over ``latency + hop_penalty_s`` per edge."""
+
+    def __init__(self, hop_penalty_s: float = 0.0) -> None:
+        if hop_penalty_s < 0:
+            raise ValueError(f"hop_penalty_s must be non-negative, got {hop_penalty_s!r}")
+        self.hop_penalty_s = hop_penalty_s
+
+    def compute_path(
+        self, graph: WanGraph, src: str, dst: str, down_edges: EdgeSet = frozenset()
+    ) -> Optional[Path]:
+        return _dijkstra(graph, src, dst, down_edges, hop_penalty_s=self.hop_penalty_s)
+
+
+@register_routing_policy("static-route")
+class StaticRouting(RoutingPolicy):
+    """Pinned per-pair paths with a shortest-path fallback.
+
+    ``routes`` maps ``(src, dst)`` to an explicit node path.  A pinned path
+    is used verbatim while every edge on it is up and present in the graph;
+    otherwise -- and for pairs without an entry -- the policy falls back to
+    ``shortest-path``, so traffic engineering never strands a reachable
+    pair.  Accepts any mapping-like of pairs (including a tuple of
+    ``((src, dst), path)`` items, the shape a frozen config carries).
+    """
+
+    def __init__(
+        self,
+        routes: Optional[
+            "Mapping[Tuple[str, str], Sequence[str]]"
+        ] = None,
+    ) -> None:
+        entries = dict(routes or {})
+        self.routes: Dict[Tuple[str, str], Path] = {}
+        for (src, dst), path in sorted(entries.items()):
+            path = tuple(path)
+            if len(path) < 2 or path[0] != src or path[-1] != dst:
+                raise ValueError(
+                    f"static route for {(src, dst)!r} must start at {src!r} and "
+                    f"end at {dst!r}, got {path!r}"
+                )
+            self.routes[(src, dst)] = path
+        self._fallback = ShortestPathRouting()
+
+    def _pinned_path_usable(
+        self, graph: WanGraph, path: Path, down_edges: EdgeSet
+    ) -> bool:
+        return all(
+            graph.has_edge(u, v) and (u, v) not in down_edges
+            for u, v in zip(path, path[1:])
+        )
+
+    def compute_path(
+        self, graph: WanGraph, src: str, dst: str, down_edges: EdgeSet = frozenset()
+    ) -> Optional[Path]:
+        pinned = self.routes.get((src, dst))
+        if pinned is not None and self._pinned_path_usable(graph, pinned, down_edges):
+            return pinned
+        return self._fallback.compute_path(graph, src, dst, down_edges)

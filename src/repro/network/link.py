@@ -80,6 +80,18 @@ class Network:
         """Is the directed ``src -> dst`` link currently partitioned away?"""
         return (src, dst) in self._blocked_links
 
+    def set_edge_down(
+        self, u: str, v: str, down: bool = True, *, symmetric: bool = True
+    ) -> None:
+        """Take one physical link down (or bring it back).
+
+        On the pairwise legacy network an "edge" and a region pair are the
+        same thing, so this is exactly :meth:`set_link_blocked`; the routed
+        network (:class:`repro.net.RoutedNetwork`) overrides it to down a
+        graph edge and re-converge routes around the cut instead.
+        """
+        self.set_link_blocked(u, v, down, symmetric=symmetric)
+
     def set_link_extra_latency(
         self, src: str, dst: str, extra_s: float, *, symmetric: bool = True
     ) -> None:
@@ -211,8 +223,11 @@ class Network:
         return self._ensure_fault_rng().random() < loss
 
     # ------------------------------------------------------------------
-    def sample_one_way(self, src: str, dst: str) -> float:
-        """One-way latency sample (base latency plus bounded jitter)."""
+    def _sample_base(self, src: str, dst: str) -> float:
+        """Pre-jitter one-way latency: topology base, spike surcharges and
+        the (fault-RNG) degrade jitter.  The routed network overrides this
+        hook to sum per-edge contributions along a multi-hop path; on the
+        legacy pairwise matrix it is byte-for-byte the historical code."""
         base = self.topology.one_way(src, dst)
         if self._extra_latency:
             base += self._extra_latency.get((src, dst), 0.0)
@@ -223,6 +238,11 @@ class Network:
             extra = self._link_extra_jitter.get((src, dst), 0.0)
             if extra > 0:
                 base += self._ensure_fault_rng().uniform(0.0, base * extra)
+        return base
+
+    def sample_one_way(self, src: str, dst: str) -> float:
+        """One-way latency sample (base latency plus bounded jitter)."""
+        base = self._sample_base(src, dst)
         if self.jitter_fraction <= 0:
             return base
         jitter = base * self.jitter_fraction
@@ -232,15 +252,50 @@ class Network:
         return self.sample_one_way(src, dst) + self.sample_one_way(dst, src)
 
     # ------------------------------------------------------------------
+    # wire-size hooks (contention model; inert on the pairwise network)
+    # ------------------------------------------------------------------
+    @property
+    def contention_enabled(self) -> bool:
+        """Whether messages contend for finite link bandwidth.
+
+        Always ``False`` here: the legacy pairwise network has no shared
+        links.  :class:`repro.net.RoutedNetwork` reports ``True`` when any
+        graph edge carries finite bandwidth, which is what switches the
+        dispatch path into computing wire sizes."""
+        return False
+
+    def request_wire_bytes(self, request: Any) -> float:
+        """Wire size of a request message (0 on the uncontended network)."""
+        return 0.0
+
+    def push_wire_bytes(self, tokens: int) -> float:
+        """Wire size of ``tokens`` worth of pushed KV prefix (0 here)."""
+        return 0.0
+
+    def response_wire_bytes(self, request: Any) -> float:
+        """Wire size of a finished request's response stream (0 here)."""
+        return 0.0
+
+    # ------------------------------------------------------------------
     def deliver(
-        self, item: Any, src: str, dst: str, inbox: Store, *, extra_delay: float = 0.0
+        self,
+        item: Any,
+        src: str,
+        dst: str,
+        inbox: Store,
+        *,
+        extra_delay: float = 0.0,
+        size_bytes: float = 0.0,
     ) -> None:
         """Asynchronously place ``item`` into ``inbox`` after the network delay.
 
         ``extra_delay`` is serialised on top of the sampled link delay --
         used for payload-dependent costs such as shipping pushed KV prefixes
         (the latency sample itself stays payload-independent so RNG draws
-        are unchanged).  Messages over a partitioned link are dropped (the
+        are unchanged).  ``size_bytes`` is the message's wire size; the
+        pairwise network ignores it (links here have no bandwidth), the
+        routed network serialises it through each finite-bandwidth edge on
+        the path.  Messages over a partitioned link are dropped (the
         packet-loss view of a partition): the item never arrives, even if
         the link heals."""
         self.messages_sent += 1

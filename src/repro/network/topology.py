@@ -43,7 +43,13 @@ class NetworkTopology:
         *,
         intra_region_latency_s: float = 0.001,
     ) -> None:
-        self.regions: Dict[str, RegionInfo] = {r.name: r for r in regions}
+        if intra_region_latency_s < 0:
+            raise ValueError(
+                f"intra_region_latency_s must be non-negative, got {intra_region_latency_s!r}"
+            )
+        self.regions: Dict[str, RegionInfo] = {}
+        for region in regions:
+            self.add_region(region)
         self.intra_region_latency_s = intra_region_latency_s
         self._latency: Dict[Tuple[str, str], float] = {}
         for (src, dst), value in latency_s.items():
@@ -51,16 +57,32 @@ class NetworkTopology:
 
     # ------------------------------------------------------------------
     def add_region(self, region: RegionInfo) -> None:
+        if region.name in self.regions:
+            raise ValueError(
+                f"region {region.name!r} is already registered; "
+                "regions are registered exactly once"
+            )
         self.regions[region.name] = region
 
     def add_link(self, src: str, dst: str, one_way_s: float, *, symmetric: bool = True) -> None:
+        if src == dst:
+            raise ValueError(
+                f"self-loop link {src!r} -> {dst!r} is not allowed; intra-region "
+                "latency comes from intra_region_latency_s"
+            )
         if one_way_s < 0:
-            raise ValueError("latency must be non-negative")
+            raise ValueError(
+                f"latency must be non-negative, got {one_way_s!r} for {src!r} -> {dst!r}"
+            )
         self._check_region(src)
         self._check_region(dst)
         self._latency[(src, dst)] = one_way_s
         if symmetric:
             self._latency.setdefault((dst, src), one_way_s)
+
+    def links(self) -> Dict[Tuple[str, str], float]:
+        """Copy of the directed latency matrix (``(src, dst) -> seconds``)."""
+        return dict(self._latency)
 
     def _check_region(self, name: str) -> None:
         if name not in self.regions:

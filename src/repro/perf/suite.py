@@ -15,7 +15,10 @@ Each benchmark targets one path the routing stack exercises per request:
   per admitted request,
 * ``fig8_wildchat_cell``    — one full (wildchat, skywalker) macro-sweep
   cell per seed, timed through the sweep executor's per-cell wall-clock
-  channel (``cell_seconds_seed<N>``; ``wall_s`` is the base seed's best).
+  channel (``cell_seconds_seed<N>``; ``wall_s`` is the base seed's best),
+* ``net_transit_sampling``  — multi-hop one-way latency sampling on the
+  routed backbone network: the fault-free ``_route_base`` fast path and
+  the per-edge walk a latency spike forces, per sampled pair.
 
 Everything is deterministic (fixed-seed RNG builds the synthetic token
 paths) and stdlib-only.  The suite runs unchanged against the
@@ -255,6 +258,51 @@ def _bench_fig8_wildchat_cell(quick: bool) -> BenchResult:
     return result
 
 
+def _bench_net_transit_sampling(quick: bool) -> BenchResult:
+    from repro.net import NetConfig, build_routed_network
+    from repro.network import default_topology
+    from repro.sim import Environment
+
+    def make_network():
+        return build_routed_network(
+            Environment(),
+            NetConfig(topology="backbone"),
+            default_topology(),
+            jitter_fraction=0.05,
+            seed=0,
+        )
+
+    pairs = [
+        (src, dst)
+        for src in ("us", "eu", "asia")
+        for dst in ("us", "eu", "asia")
+        if src != dst
+    ]
+    number = 300 if quick else 1000
+
+    fast = make_network()
+
+    def op_fast():
+        for src, dst in pairs:
+            fast.sample_one_way(src, dst)
+
+    faulted = make_network()
+    faulted.add_link_extra_latency("us", "wan/north-america", 0.01)
+
+    def op_faulted():
+        for src, dst in pairs:
+            faulted.sample_one_way(src, dst)
+
+    result: BenchResult = {
+        "per_pair_us": time_op(op_fast, number=number, repeats=3) / len(pairs) * 1e6,
+        "per_pair_faulted_us": time_op(op_faulted, number=number, repeats=3)
+        / len(pairs)
+        * 1e6,
+        "alloc_peak_bytes_per_op": float(alloc_peak_bytes(op_fast, number=30)),
+    }
+    return result
+
+
 _BENCHMARKS = {
     "trie_best_target": _bench_trie_best_target,
     "trie_insert_evict": _bench_trie_insert_evict,
@@ -263,6 +311,7 @@ _BENCHMARKS = {
     "radix_evict_scaling": _bench_radix_evict_scaling,
     "radix_admission": _bench_radix_admission,
     "fig8_wildchat_cell": _bench_fig8_wildchat_cell,
+    "net_transit_sampling": _bench_net_transit_sampling,
 }
 
 

@@ -1,0 +1,134 @@
+"""Unit tests for routing policies: determinism, tie-breaks, fallbacks."""
+
+import pytest
+
+from repro.net import (
+    WanGraph,
+    make_routing_policy,
+    register_routing_policy,
+    registered_routing_policies,
+)
+from repro.net.routing import _ROUTING_POLICIES
+from repro.network import NetworkTopology, RegionInfo
+
+
+def _diamond():
+    """a -> {upper, lower} -> b, with the upper path strictly cheaper."""
+    regions = NetworkTopology([RegionInfo("a", 0), RegionInfo("b", 0)], {})
+    graph = WanGraph(regions)
+    graph.add_router("upper")
+    graph.add_router("lower")
+    graph.add_edge("a", "upper", 0.01)
+    graph.add_edge("upper", "b", 0.01)
+    graph.add_edge("a", "lower", 0.02)
+    graph.add_edge("lower", "b", 0.02)
+    return graph
+
+
+def _equal_cost_diamond():
+    """Two exactly equal-cost paths: the (cost, name) tie-break must pick
+    the lexicographically smaller router deterministically."""
+    regions = NetworkTopology([RegionInfo("a", 0), RegionInfo("b", 0)], {})
+    graph = WanGraph(regions)
+    for router in ("m", "k"):  # insertion order deliberately non-sorted
+        graph.add_router(router)
+        graph.add_edge("a", router, 0.01)
+        graph.add_edge(router, "b", 0.01)
+    return graph
+
+
+def test_builtin_policies_registered():
+    names = registered_routing_policies()
+    assert "shortest-path" in names
+    assert "static-route" in names
+    assert "cost-weighted" in names
+
+
+def test_shortest_path_picks_cheapest():
+    policy = make_routing_policy("shortest-path")
+    assert policy.compute_path(_diamond(), "a", "b") == ("a", "upper", "b")
+
+
+def test_shortest_path_same_node_is_trivial():
+    policy = make_routing_policy("shortest-path")
+    assert policy.compute_path(_diamond(), "a", "a") == ("a",)
+
+
+def test_shortest_path_tie_break_is_lexicographic():
+    policy = make_routing_policy("shortest-path")
+    # Both paths cost 0.02; 'k' < 'm' so the k-path wins -- regardless of
+    # the order the routers were inserted in.
+    assert policy.compute_path(_equal_cost_diamond(), "a", "b") == ("a", "k", "b")
+
+
+def test_shortest_path_routes_around_down_edges():
+    policy = make_routing_policy("shortest-path")
+    graph = _diamond()
+    down = frozenset({("a", "upper"), ("upper", "a")})
+    assert policy.compute_path(graph, "a", "b", down) == ("a", "lower", "b")
+
+
+def test_shortest_path_returns_none_when_cut():
+    policy = make_routing_policy("shortest-path")
+    graph = _diamond()
+    down = frozenset({("a", "upper"), ("a", "lower")})
+    assert policy.compute_path(graph, "a", "b", down) is None
+
+
+def test_static_route_pins_a_path_and_falls_back():
+    policy = make_routing_policy(
+        "static-route", routes={("a", "b"): ("a", "lower", "b")}
+    )
+    graph = _diamond()
+    # Pinned: takes the (more expensive) lower path.
+    assert policy.compute_path(graph, "a", "b") == ("a", "lower", "b")
+    # Reverse direction has no pin: shortest-path fallback.
+    assert policy.compute_path(graph, "b", "a") == ("b", "upper", "a")
+    # Pinned path crosses a downed edge: falls back to shortest-path.
+    down = frozenset({("lower", "b")})
+    assert policy.compute_path(graph, "a", "b", down) == ("a", "upper", "b")
+
+
+def test_static_route_validates_endpoints():
+    with pytest.raises(ValueError, match="static route"):
+        make_routing_policy("static-route", routes={("a", "b"): ("a", "x", "c")})
+
+
+def test_cost_weighted_hop_penalty_prefers_fewer_hops():
+    regions = NetworkTopology(
+        [RegionInfo("a", 0), RegionInfo("b", 0)], {("a", "b"): 0.05}
+    )
+    graph = WanGraph(regions)
+    graph.add_edge("a", "b", 0.05)
+    graph.add_router("detour")
+    graph.add_edge("a", "detour", 0.02)
+    graph.add_edge("detour", "b", 0.02)
+    # Pure latency: the 2-hop detour (0.04) beats the direct edge (0.05).
+    assert make_routing_policy("shortest-path").compute_path(graph, "a", "b") == (
+        "a",
+        "detour",
+        "b",
+    )
+    assert make_routing_policy("cost-weighted", hop_penalty_s=0.0).compute_path(
+        graph, "a", "b"
+    ) == ("a", "detour", "b")
+    # A hop penalty flips the choice to the direct edge.
+    assert make_routing_policy("cost-weighted", hop_penalty_s=0.02).compute_path(
+        graph, "a", "b"
+    ) == ("a", "b")
+    with pytest.raises(ValueError, match="hop_penalty_s"):
+        make_routing_policy("cost-weighted", hop_penalty_s=-1.0)
+
+
+def test_register_routing_policy_extension_point():
+    @register_routing_policy("test-reverse-alphabetic")
+    class ReverseAlphabetic:
+        def compute_path(self, graph, src, dst, down_edges=frozenset()):
+            return (src, dst) if graph.has_edge(src, dst) else None
+
+    try:
+        policy = make_routing_policy("test-reverse-alphabetic")
+        graph = _diamond()
+        assert policy.compute_path(graph, "a", "upper") == ("a", "upper")
+    finally:
+        _ROUTING_POLICIES.unregister("test-reverse-alphabetic")

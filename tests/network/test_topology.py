@@ -91,3 +91,44 @@ def test_add_region_and_link_extend_topology():
     topology.add_link("sa", "us", 0.12)
     assert topology.one_way("sa", "us") == 0.12
     assert topology.one_way("us", "sa") == 0.12
+
+
+# ----------------------------------------------------------------------
+# input validation: errors name the offending region/edge
+# ----------------------------------------------------------------------
+def test_negative_intra_region_latency_rejected():
+    with pytest.raises(ValueError, match="intra_region_latency_s"):
+        NetworkTopology([RegionInfo("a", 0)], {}, intra_region_latency_s=-0.001)
+
+
+def test_duplicate_region_registration_rejected_and_names_region():
+    topology = default_topology()
+    with pytest.raises(ValueError, match="'us'"):
+        topology.add_region(RegionInfo("us", utc_offset_hours=0))
+
+
+def test_duplicate_region_in_constructor_rejected():
+    with pytest.raises(ValueError, match="'a'"):
+        NetworkTopology([RegionInfo("a", 0), RegionInfo("a", 0)], {})
+
+
+def test_self_loop_link_rejected_and_names_edge():
+    topology = default_topology()
+    with pytest.raises(ValueError, match="'us' -> 'us'"):
+        topology.add_link("us", "us", 0.001)
+
+
+def test_negative_link_latency_error_names_edge():
+    topology = default_topology()
+    with pytest.raises(ValueError, match="'us' -> 'eu'"):
+        topology.add_link("us", "eu", -0.5)
+
+
+def test_links_returns_directed_matrix_copy():
+    topology = default_topology()
+    links = topology.links()
+    assert links[("us", "eu")] == topology.one_way("us", "eu")
+    assert links[("eu", "us")] == topology.one_way("eu", "us")
+    # It is a copy: mutating it does not affect the topology.
+    links[("us", "eu")] = 99.0
+    assert topology.one_way("us", "eu") != 99.0
